@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's measured artifacts (Figure 7,
+Figure 8, Table 3's sources) or an extension/ablation experiment, asserts
+the qualitative claims (shapes, crossovers, winners), and records the key
+numbers in ``benchmark.extra_info`` so they appear in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def sample_times(end: float, points: int = 8) -> list[float]:
+    """Evenly spaced sample times over (0, end]."""
+    return [end * (index + 1) / points for index in range(points)]

@@ -1,0 +1,58 @@
+"""Federated "Deep Web" join: why breaking up the index join helps (Figure 7).
+
+The paper's motivating application (Telegraph FFF) joins a local table
+against a remote web service that only supports keyed lookups with high
+latency.  This example reproduces that scenario — query Q1 — and contrasts
+the classic encapsulated index join with the SteM decomposition, printing
+the results-over-time table that corresponds to paper Figure 7(i) and the
+index-probe counts of Figure 7(ii).
+
+Run with::
+
+    python examples/federated_web_join.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.experiments import index_probe_series, run_figure7
+from repro.bench.report import comparison_summary
+
+
+def main() -> None:
+    print("Q1: SELECT * FROM R, S WHERE R.a = S.x")
+    print("R: local table, 1000 rows, 250 distinct join values, scanned at 50 rows/s")
+    print("S: remote web source, reachable only through an index on x (1.6 s per lookup)\n")
+
+    report = run_figure7(
+        r_rows=1000, distinct_a=250, r_scan_rate=50.0, s_index_latency=1.6
+    )
+
+    end = report.results["index-join"].completion_time
+    times = [end * fraction for fraction in (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)]
+
+    print("Results produced over virtual time (paper Figure 7(i)):")
+    print(
+        comparison_summary(
+            {name: result.output_series for name, result in report.results.items()},
+            times,
+        )
+    )
+
+    print("\nProbes into the remote S index (paper Figure 7(ii)):")
+    print(comparison_summary(index_probe_series(report), times))
+
+    print(
+        "\nTakeaway: both plans issue the same ~250 remote lookups and finish at "
+        "about the same time, but the encapsulated index join holds cheap cache "
+        "hits hostage behind slow lookups (convex curve), while SteMs give them "
+        "their own queue (near-linear curve) — better online behaviour for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

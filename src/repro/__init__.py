@@ -1,0 +1,53 @@
+"""repro: a reproduction of "Using State Modules for Adaptive Query Processing".
+
+The package implements the Telegraph-style adaptive query architecture of
+Raman, Deshpande & Hellerstein (ICDE 2003): State Modules (SteMs), the eddy
+routing operator, routing constraints that guarantee correct execution, and
+the traditional baselines (static plans and eddies over join modules) that
+the paper compares against.  Everything runs on a deterministic discrete-
+event simulator so the paper's experiments can be regenerated quickly.
+"""
+
+from repro.errors import (
+    BindingError,
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RoutingViolationError,
+    SchemaError,
+    SimulationError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.storage import Catalog, Column, DataType, Row, Schema, Table
+from repro.query import Query, parse_query
+from repro.engine import ExecutionResult, execute
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindingError",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "DataType",
+    "ExecutionError",
+    "ExecutionResult",
+    "ParseError",
+    "Query",
+    "QueryError",
+    "ReproError",
+    "Row",
+    "RoutingViolationError",
+    "Schema",
+    "SchemaError",
+    "SimulationError",
+    "Table",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "execute",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Benchmark harness: workloads, experiment runners, plain-text reports."""
+
+from repro.bench.experiments import (
+    ExperimentReport,
+    index_probe_series,
+    run_competitive_ams,
+    run_figure7,
+    run_figure8,
+    run_prioritized,
+    run_spanning_tree,
+)
+from repro.bench.report import (
+    comparison_summary,
+    sampled_table,
+    shape_is_convex,
+    shape_is_near_linear,
+    sparkline,
+)
+from repro.bench.workloads import (
+    Workload,
+    competitive_ams_workload,
+    cyclic_workload,
+    prioritized_workload,
+    q1_workload,
+    q4_workload,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "Workload",
+    "comparison_summary",
+    "competitive_ams_workload",
+    "cyclic_workload",
+    "index_probe_series",
+    "prioritized_workload",
+    "q1_workload",
+    "q4_workload",
+    "run_competitive_ams",
+    "run_figure7",
+    "run_figure8",
+    "run_prioritized",
+    "run_spanning_tree",
+    "sampled_table",
+    "shape_is_convex",
+    "shape_is_near_linear",
+    "sparkline",
+]

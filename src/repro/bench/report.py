@@ -1,0 +1,96 @@
+"""Plain-text reporting helpers for benchmark output.
+
+The paper presents its results as line plots; a terminal benchmark run
+renders the same data as sampled tables and coarse ASCII sparklines so the
+curve shapes (convex vs linear, crossovers, completion times) are visible in
+``pytest benchmarks/ --benchmark-only`` output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.results import Series
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sampled_table(
+    series_by_name: Mapping[str, Series],
+    times: Sequence[float],
+    header: str = "time(s)",
+) -> str:
+    """Render cumulative counts of several series at sample times as a table."""
+    names = list(series_by_name)
+    widths = [max(len(name), 8) for name in names]
+    lines = []
+    title_cells = [f"{header:>8}"] + [
+        f"{name:>{width}}" for name, width in zip(names, widths)
+    ]
+    lines.append(" | ".join(title_cells))
+    lines.append("-+-".join("-" * len(cell) for cell in title_cells))
+    for time in times:
+        cells = [f"{time:>8.1f}"]
+        for name, width in zip(names, widths):
+            cells.append(f"{series_by_name[name].count_at(time):>{width}d}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def sparkline(series: Series, times: Sequence[float], height: int = 1) -> str:
+    """A one-line ASCII sparkline of a cumulative series at sample times."""
+    del height
+    values = [series.count_at(time) for time in times]
+    peak = max(values) if values else 0
+    if peak == 0:
+        return " " * len(values)
+    chars = []
+    for value in values:
+        index = round((value / peak) * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def comparison_summary(
+    series_by_name: Mapping[str, Series],
+    times: Sequence[float],
+) -> str:
+    """Sampled table plus per-approach sparklines and completion counts."""
+    lines = [sampled_table(series_by_name, times)]
+    lines.append("")
+    for name, series in series_by_name.items():
+        lines.append(
+            f"{name:>12}: [{sparkline(series, times)}] "
+            f"final={series.final_count} at t={series.final_time:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def shape_is_convex(series: Series, start: float, end: float, samples: int = 8) -> bool:
+    """True if the series accelerates over [start, end] (second half > first half).
+
+    A robust, discretisation-tolerant test of "parabolic" shape used by the
+    Figure 7 benchmark assertions.
+    """
+    if end <= start:
+        return False
+    mid = (start + end) / 2.0
+    first_half = series.count_at(mid) - series.count_at(start)
+    second_half = series.count_at(end) - series.count_at(mid)
+    del samples
+    return second_half > first_half
+
+
+def shape_is_near_linear(
+    series: Series, start: float, end: float, tolerance: float = 0.35
+) -> bool:
+    """True if growth over the two halves of [start, end] is roughly equal."""
+    if end <= start:
+        return False
+    mid = (start + end) / 2.0
+    first_half = series.count_at(mid) - series.count_at(start)
+    second_half = series.count_at(end) - series.count_at(mid)
+    total = first_half + second_half
+    if total == 0:
+        return False
+    return abs(first_half - second_half) / total <= tolerance

@@ -1,0 +1,242 @@
+"""Benchmark workloads: the paper's Table 3 sources and experiment queries.
+
+Each experiment gets a builder returning a fresh catalog plus the query, so
+benchmark runs never share mutable state.  The virtual-time parameters are
+chosen to land in the paper's regime:
+
+* **Q1 / Figure 7** — R(1000 rows, 250 distinct ``a``) scanned quickly; S
+  reachable only through an asynchronous index on ``x`` with a 1.6 virtual-
+  second lookup latency, so the ~250 distinct lookups dominate and the whole
+  query takes ≈400 virtual seconds (as in the paper's plot).
+* **Q4 / Figure 8** — R(1000 rows) scanned over ≈59 virtual seconds (the
+  paper notes the R scan ends at ~59 s); T(1000 rows) has both a scan
+  (≈6.7 rows/s, finishing ≈150 s) and an index on ``key`` with a 0.2 s
+  lookup latency (1000 sequential lookups ≈ 200 s) — so the scan is the
+  faster access method overall but the index wins early, exactly the
+  crossover the experiment is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.parser import parse_query
+from repro.query.predicates import selection
+from repro.query.query import Query
+from repro.storage.catalog import Catalog
+from repro.storage.datagen import (
+    make_cyclic_triple,
+    make_source_r,
+    make_source_s,
+    make_source_t,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark workload: a catalog, a query, and descriptive parameters.
+
+    Attributes:
+        preferences: optional user-interest predicates (not filters) handed
+            to the adaptive engines; tuples satisfying them get a priority
+            boost (paper section 4.1's online metric).
+    """
+
+    name: str
+    catalog: Catalog
+    query: Query
+    parameters: dict
+    preferences: tuple = ()
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name}, {self.parameters})"
+
+
+# ---------------------------------------------------------------------------
+# Q1 / Figure 7: R join S on R.a = S.x, S reachable only through an index.
+# ---------------------------------------------------------------------------
+
+def q1_workload(
+    r_rows: int = 1000,
+    distinct_a: int = 250,
+    r_scan_rate: float = 50.0,
+    s_index_latency: float = 1.6,
+    seed: int = 0,
+) -> Workload:
+    """The paper's query Q1 with the Table 3 sources R and S."""
+    catalog = Catalog()
+    catalog.add_table(make_source_r(r_rows, distinct_a, seed=seed))
+    catalog.add_table(make_source_s(max(distinct_a, 1)))
+    catalog.add_scan("R", rate=r_scan_rate)
+    catalog.add_index("S", ["x"], latency=s_index_latency)
+    query = parse_query("SELECT * FROM R, S WHERE R.a = S.x", name="Q1")
+    return Workload(
+        name="q1",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "r_rows": r_rows,
+            "distinct_a": distinct_a,
+            "r_scan_rate": r_scan_rate,
+            "s_index_latency": s_index_latency,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q4 / Figure 8: R join T on key; T has both a scan and an index.
+# ---------------------------------------------------------------------------
+
+def q4_workload(
+    rows: int = 1000,
+    r_scan_rate: float = 17.0,
+    t_scan_rate: float = 6.7,
+    t_index_latency: float = 0.2,
+    seed: int = 0,
+) -> Workload:
+    """The paper's query Q4 with the Table 3 sources R and T.
+
+    The equi-join is between the key columns of R and T (every R row has
+    exactly one T match), so lookup caching plays no role — the experiment
+    isolates the access-method / join-algorithm choice.
+    """
+    catalog = Catalog()
+    catalog.add_table(make_source_r(rows, distinct_a=max(rows // 4, 1), seed=seed))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    catalog.add_scan("R", rate=r_scan_rate)
+    catalog.add_scan("T", rate=t_scan_rate)
+    catalog.add_index("T", ["key"], latency=t_index_latency)
+    query = parse_query("SELECT * FROM R, T WHERE R.key = T.key", name="Q4")
+    return Workload(
+        name="q4",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "r_scan_rate": r_scan_rate,
+            "t_scan_rate": t_scan_rate,
+            "t_index_latency": t_index_latency,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension experiments (the paper's other "salient points").
+# ---------------------------------------------------------------------------
+
+def competitive_ams_workload(
+    rows: int = 600,
+    fast_rate: float = 50.0,
+    slow_rate: float = 50.0,
+    slow_stall_at: float = 2.0,
+    slow_stall_duration: float = 30.0,
+    join_rows: int = 600,
+    seed: int = 0,
+) -> Workload:
+    """Two competing scan AMs on the same table, one of which stalls.
+
+    Reproduces salient point 2 of section 4: the eddy runs both access
+    methods, the SteM absorbs their duplicates, and the query finishes at the
+    speed of the healthy AM with almost no redundant work surviving the SteM.
+    """
+    catalog = Catalog()
+    catalog.add_table(make_source_r(rows, distinct_a=max(rows // 4, 1), seed=seed))
+    catalog.add_table(make_source_t(join_rows, seed=seed + 1))
+    catalog.add_scan("R", name="R_scan_flaky", rate=slow_rate,
+                     stall_at=slow_stall_at, stall_duration=slow_stall_duration)
+    catalog.add_scan("R", name="R_scan_healthy", rate=fast_rate, initial_delay=0.5)
+    catalog.add_scan("T", rate=100.0)
+    query = parse_query("SELECT * FROM R, T WHERE R.key = T.key", name="competitive-AMs")
+    return Workload(
+        name="competitive_ams",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "slow_stall_at": slow_stall_at,
+            "slow_stall_duration": slow_stall_duration,
+        },
+    )
+
+
+def cyclic_workload(
+    rows: int = 200,
+    match_fraction: float = 0.4,
+    stalled_source: str | None = "C",
+    stall_at: float = 0.5,
+    stall_duration: float = 20.0,
+    seed: int = 0,
+) -> Workload:
+    """A cyclic three-way join with one delayed source.
+
+    Reproduces salient point 3: with SteMs no spanning tree is fixed up
+    front, so when one source stalls the other two keep joining and results
+    flow as soon as the stalled source recovers; a static spanning tree that
+    routes everything through the stalled table blocks instead.
+    """
+    table_a, table_b, table_c = make_cyclic_triple(rows, seed=seed,
+                                                   match_fraction=match_fraction)
+    catalog = Catalog()
+    catalog.add_table(table_a)
+    catalog.add_table(table_b)
+    catalog.add_table(table_c)
+    for name in ("A", "B", "C"):
+        if name == stalled_source:
+            catalog.add_scan(name, rate=100.0, stall_at=stall_at,
+                             stall_duration=stall_duration)
+        else:
+            catalog.add_scan(name, rate=100.0)
+    query = parse_query(
+        "SELECT * FROM A, B, C "
+        "WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca",
+        name="cyclic-triangle",
+    )
+    return Workload(
+        name="cyclic",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "match_fraction": match_fraction,
+            "stalled_source": stalled_source,
+            "stall_duration": stall_duration,
+        },
+    )
+
+
+def prioritized_workload(
+    rows: int = 500,
+    priority_fraction: float = 0.1,
+    r_scan_rate: float = 25.0,
+    t_scan_rate: float = 5.0,
+    t_index_latency: float = 0.25,
+    seed: int = 0,
+) -> Workload:
+    """A Q4-style join where the user prioritises part of R.
+
+    Reproduces salient point 5: a *preference* predicate (not a filter)
+    raises the priority of matching tuples; the benefit policy then spends
+    the scarce index budget on them, so prioritised results arrive earlier
+    than the rest even though the query result is unchanged.
+    """
+    catalog = Catalog()
+    distinct_a = max(rows // 4, 1)
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    catalog.add_scan("R", rate=r_scan_rate)
+    catalog.add_scan("T", rate=t_scan_rate)
+    catalog.add_index("T", ["key"], latency=t_index_latency)
+    threshold = max(1, int(distinct_a * priority_fraction))
+    preference = selection("R.a", "<", threshold, priority=5.0)
+    query = parse_query("SELECT * FROM R, T WHERE R.key = T.key", name="prioritized")
+    return Workload(
+        name="prioritized",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "priority_threshold": threshold,
+            "t_index_latency": t_index_latency,
+        },
+        preferences=(preference,),
+    )

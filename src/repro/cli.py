@@ -1,0 +1,133 @@
+"""Command-line interface: run the paper's experiments or ad-hoc queries.
+
+Usage::
+
+    python -m repro figure7                 # regenerate Figure 7 (both panels)
+    python -m repro figure8                 # regenerate Figure 8
+    python -m repro extensions              # competitive AMs / spanning tree / priorities
+    python -m repro query "SELECT * FROM R, T WHERE R.key = T.key" \
+        --engine stems --policy benefit     # run a query on the built-in demo catalog
+
+The demo catalog used by ``query`` is the paper's Table 3 trio (R, S, T) with
+a scan on R, index AMs on S, and both a scan and an index on T.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.experiments import (
+    index_probe_series,
+    run_competitive_ams,
+    run_figure7,
+    run_figure8,
+    run_prioritized,
+    run_spanning_tree,
+)
+from repro.bench.report import comparison_summary
+from repro.engine.api import execute
+from repro.storage.catalog import Catalog
+from repro.storage.datagen import make_source_r, make_source_s, make_source_t
+
+
+def demo_catalog() -> Catalog:
+    """The paper's Table 3 sources wired with their access methods."""
+    catalog = Catalog()
+    catalog.add_table(make_source_r())
+    catalog.add_table(make_source_s(250))
+    catalog.add_table(make_source_t())
+    catalog.add_scan("R", rate=50.0)
+    catalog.add_index("S", ["x"], latency=1.6)
+    catalog.add_index("S", ["y"], latency=1.6)
+    catalog.add_scan("T", rate=6.7)
+    catalog.add_index("T", ["key"], latency=0.2)
+    return catalog
+
+
+def _print_figure7() -> None:
+    report = run_figure7()
+    end = report.results["index-join"].completion_time
+    times = [end * f for f in (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)]
+    print("Figure 7(i): results over virtual time")
+    print(comparison_summary(
+        {name: result.output_series for name, result in report.results.items()}, times
+    ))
+    print("\nFigure 7(ii): probes into the S index")
+    print(comparison_summary(index_probe_series(report), times))
+
+
+def _print_figure8() -> None:
+    report = run_figure8()
+    series = {name: result.output_series for name, result in report.results.items()}
+    print("Figure 8(i): first 30 virtual seconds")
+    print(comparison_summary(series, [5, 10, 15, 20, 25, 30]))
+    end = report.results["index-join"].completion_time
+    print("\nFigure 8(ii): full run")
+    print(comparison_summary(series, [end * f for f in (0.2, 0.4, 0.6, 0.8, 1.0)]))
+
+
+def _print_extensions() -> None:
+    competitive = run_competitive_ams()
+    print("Competitive AMs: completion "
+          f"flaky-only={competitive.results['single-am-flaky'].completion_time:.1f}s, "
+          f"competitive={competitive.results['competitive'].completion_time:.1f}s, "
+          f"duplicates absorbed={competitive.notes['duplicates_absorbed_by_stems']}")
+    spanning = run_spanning_tree()
+    print("Spanning tree: A+B partials at t=10s "
+          f"stems={spanning.results['stems'].partials_at(['A', 'B'], 10.0)}, "
+          f"static={spanning.results['static-tree-through-C'].partials_at(['A', 'B'], 10.0)}")
+    prioritized = run_prioritized()
+    print("Priorities: mean interesting-result output time "
+          f"{prioritized.notes['mean_priority_output_time[no-priority]']}s -> "
+          f"{prioritized.notes['mean_priority_output_time[prioritized]']}s")
+
+
+def _run_query(args: argparse.Namespace) -> None:
+    result = execute(args.sql, demo_catalog(), engine=args.engine, policy=args.policy)
+    print(result.summary())
+    if result.completion_time:
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            time = result.completion_time * fraction
+            print(f"  t={time:8.1f}s  results={result.results_at(time)}")
+    if args.show_rows:
+        for row in result.rows()[: args.show_rows]:
+            print(f"  {row}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SteMs / adaptive query processing reproduction (ICDE 2003)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("figure7", help="regenerate paper Figure 7")
+    subparsers.add_parser("figure8", help="regenerate paper Figure 8")
+    subparsers.add_parser("extensions", help="run the extension experiments")
+    query_parser = subparsers.add_parser("query", help="run a query on the demo catalog")
+    query_parser.add_argument("sql", help="SELECT ... FROM ... WHERE ... text")
+    query_parser.add_argument("--engine", default="stems",
+                              choices=["stems", "eddy-joins", "static"])
+    query_parser.add_argument("--policy", default="benefit",
+                              choices=["benefit", "naive", "lottery", "random"])
+    query_parser.add_argument("--show-rows", type=int, default=0,
+                              help="print the first N result rows")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure7":
+        _print_figure7()
+    elif args.command == "figure8":
+        _print_figure8()
+    elif args.command == "extensions":
+        _print_extensions()
+    elif args.command == "query":
+        _run_query(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Routing constraints (paper Table 2) and legal-destination computation.
+
+The eddy is free to route tuples however it likes *within* the constraints
+that guarantee correct, duplicate-free, terminating execution:
+
+* **BuildFirst** — a singleton tuple is first built into its table's SteM.
+  (Like the paper's own experimental implementation — section 4.1 — we
+  always build, which is cheap for main-memory SteMs and never wrong.)
+* **BoundedRepetition** — no tuple is routed to the same module more than
+  once (the default bound; the relaxed, LastMatchTimeStamp-based repetition
+  of section 3.5 is available inside the SteM but not used by the shipped
+  policies).
+* **ProbeCompletion** — a tuple bounced back from a SteM probe (a "prior
+  prober") may not probe any other SteM; it stays in the dataflow until it
+  has probed an access method on its probe completion table.
+* **SteM BounceBack / TimeStamp** — enforced inside the SteM and AM
+  implementations themselves (see ``repro.core.stem`` and
+  ``repro.core.modules``), so routing policies need not be aware of them.
+
+:class:`ConstraintChecker` turns these rules into the list of *legal
+destinations* for a tuple; routing policies only ever choose among legal
+destinations, and a strict mode raises :class:`RoutingViolationError` when a
+(custom) policy tries to step outside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import RoutingViolationError
+from repro.core.modules.access import IndexAMModule, ScanAMModule
+from repro.core.modules.base import Module
+from repro.core.modules.selection import SelectionModule
+from repro.core.modules.stem_module import SteMModule
+from repro.core.tuples import QTuple
+from repro.query.joingraph import JoinGraph
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class Destination:
+    """A legal routing target for a tuple.
+
+    Attributes:
+        module: the module to route to.
+        action: ``"build"``, ``"probe"``, ``"select"`` or ``"am_probe"``.
+        target_alias: the alias being extended/probed (None for selections).
+        required: True when the destination must eventually be visited for
+            correctness or completeness; False for purely opportunistic work
+            (e.g. probing an index AM on a table that also has a scan).
+    """
+
+    module: Module
+    action: str
+    target_alias: str | None
+    required: bool = True
+
+    def __repr__(self) -> str:
+        flag = "required" if self.required else "optional"
+        return f"Destination({self.action}->{self.module.name}, {flag})"
+
+
+class ConstraintChecker:
+    """Computes the legal destinations of a tuple under the Table 2 rules.
+
+    Args:
+        query: the query being executed.
+        join_graph: the query's join graph (adjacency drives probe targets).
+        stems: SteM modules keyed by alias.
+        selections: selection modules, one per selection predicate.
+        index_ams: index access modules keyed by alias.
+        scan_aliases: aliases whose table has at least one scan AM.
+        max_visits: BoundedRepetition bound (default 1).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        join_graph: JoinGraph,
+        stems: Mapping[str, SteMModule],
+        selections: Sequence[SelectionModule],
+        index_ams: Mapping[str, Sequence[IndexAMModule]],
+        scan_aliases: Iterable[str],
+        max_visits: int = 1,
+    ):
+        self.query = query
+        self.join_graph = join_graph
+        self.stems = dict(stems)
+        self.selections = tuple(selections)
+        self.index_ams = {alias: tuple(ams) for alias, ams in index_ams.items()}
+        self.scan_aliases = frozenset(scan_aliases)
+        self.max_visits = max_visits
+
+    # -- destination computation -----------------------------------------------
+
+    def destinations(self, tuple_: QTuple) -> list[Destination]:
+        """All legal destinations for the tuple, required ones first."""
+        if tuple_.failed:
+            return []
+        build = self._build_destination(tuple_)
+        if build is not None:
+            # BuildFirst: nothing else is legal until the tuple has built.
+            return [build]
+        result: list[Destination] = []
+        result.extend(self._selection_destinations(tuple_))
+        result.extend(self._probe_destinations(tuple_))
+        result.sort(key=lambda destination: not destination.required)
+        return result
+
+    def _build_destination(self, tuple_: QTuple) -> Destination | None:
+        if not tuple_.is_singleton:
+            return None
+        alias = tuple_.single_alias
+        if alias in tuple_.built:
+            return None
+        stem = self.stems.get(alias)
+        if stem is None:
+            return None
+        return Destination(stem, "build", alias, required=True)
+
+    def _selection_destinations(self, tuple_: QTuple) -> list[Destination]:
+        result = []
+        for module in self.selections:
+            predicate = module.predicate
+            if tuple_.is_done(predicate):
+                continue
+            if not predicate.can_evaluate(tuple_.aliases):
+                continue
+            if tuple_.visit_count(module.name) >= self.max_visits:
+                continue
+            result.append(Destination(module, "select", None, required=True))
+        return result
+
+    def _probe_destinations(self, tuple_: QTuple) -> list[Destination]:
+        result: list[Destination] = []
+        prior_prober_of = tuple_.probe_completion_alias
+        for alias in self._adjacent_unspanned(tuple_):
+            stem = self.stems.get(alias)
+            if (
+                stem is not None
+                and tuple_.visit_count(stem.name) < self.max_visits
+                and not tuple_.stop_stem_probes
+            ):
+                # ProbeCompletion: a prior prober may not probe other SteMs.
+                if prior_prober_of is None or prior_prober_of == alias:
+                    result.append(Destination(stem, "probe", alias, required=True))
+            stem_probed = stem is None or tuple_.visit_count(stem.name) >= self.max_visits
+            if not stem_probed:
+                # Index AMs only become destinations once the (cheap) SteM
+                # cache has been consulted.
+                continue
+            if alias in tuple_.exhausted:
+                continue
+            if prior_prober_of is not None and prior_prober_of != alias:
+                continue
+            for am in self.index_ams.get(alias, ()):
+                if tuple_.visit_count(am.name) >= self.max_visits:
+                    continue
+                if am.bind_key(tuple_) is None:
+                    continue
+                required = prior_prober_of == alias and not tuple_.is_resolved(alias)
+                optional_useful = alias in self.scan_aliases or not tuple_.is_resolved(alias)
+                if required or optional_useful:
+                    result.append(
+                        Destination(am, "am_probe", alias, required=required)
+                    )
+        return result
+
+    def _adjacent_unspanned(self, tuple_: QTuple) -> list[str]:
+        adjacent: list[str] = []
+        for alias in tuple_.aliases:
+            for neighbour in self.join_graph.neighbors(alias):
+                if neighbour not in tuple_.aliases and neighbour not in adjacent:
+                    adjacent.append(neighbour)
+        return sorted(adjacent)
+
+    # -- readiness --------------------------------------------------------------
+
+    def ready_for_output(self, tuple_: QTuple) -> bool:
+        """True if the tuple spans all aliases and passed every predicate."""
+        if tuple_.failed:
+            return False
+        if tuple_.aliases != self.query.aliases:
+            return False
+        return all(tuple_.is_done(p) for p in self.query.predicates)
+
+    def must_stay_in_dataflow(self, tuple_: QTuple) -> bool:
+        """True if retiring the tuple now would violate ProbeCompletion."""
+        alias = tuple_.probe_completion_alias
+        if alias is None:
+            return False
+        if tuple_.is_resolved(alias):
+            return False
+        # It must stay only if it can actually complete the probe: there is a
+        # bindable, unvisited AM on the completion table.
+        for am in self.index_ams.get(alias, ()):
+            if tuple_.visit_count(am.name) < self.max_visits and am.bind_key(tuple_) is not None:
+                return True
+        return False
+
+    # -- strict validation ---------------------------------------------------------
+
+    def validate(self, tuple_: QTuple, destination: Destination) -> None:
+        """Raise :class:`RoutingViolationError` if the routing is illegal."""
+        legal = self.destinations(tuple_)
+        for candidate in legal:
+            if (
+                candidate.module is destination.module
+                and candidate.action == destination.action
+                and candidate.target_alias == destination.target_alias
+            ):
+                return
+        raise RoutingViolationError(
+            f"routing {tuple_} to {destination.module.name} ({destination.action}) "
+            f"violates the routing constraints; legal destinations: "
+            f"{[d.module.name for d in legal]}"
+        )

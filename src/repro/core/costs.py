@@ -1,0 +1,68 @@
+"""Cost model: the virtual-time costs of the simulated physical operations.
+
+The paper's experiments run on a real machine where routing overhead and
+main-memory operations cost microseconds while remote index lookups cost
+seconds.  The cost model captures that separation of scales; the benchmark
+harness overrides individual values per experiment (e.g. the index latency
+of Table 3's sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual-time costs, in virtual seconds.
+
+    Attributes:
+        route_cost: one eddy routing decision.
+        selection_cost: evaluating one selection predicate on one tuple.
+        stem_build_cost: inserting one tuple into a SteM.
+        stem_probe_cost: probing a SteM (main-memory lookup + concatenation).
+        am_handle_cost: accepting a probe at an access module (the lookup
+            itself is charged separately through the AM's latency model).
+        join_probe_cost: a cache-hit / hash-table operation inside an
+            encapsulated join module.
+        index_lookup_latency: default remote index lookup latency used when a
+            catalog spec does not override it.
+    """
+
+    route_cost: float = 5e-5
+    selection_cost: float = 1e-4
+    stem_build_cost: float = 1e-4
+    stem_probe_cost: float = 2e-4
+    am_handle_cost: float = 5e-5
+    join_probe_cost: float = 2e-4
+    index_lookup_latency: float = 1.0
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A cost model with every CPU-side cost multiplied by ``factor``.
+
+        The index lookup latency is left untouched: it models a remote
+        service, not local CPU work.
+        """
+        return replace(
+            self,
+            route_cost=self.route_cost * factor,
+            selection_cost=self.selection_cost * factor,
+            stem_build_cost=self.stem_build_cost * factor,
+            stem_probe_cost=self.stem_probe_cost * factor,
+            am_handle_cost=self.am_handle_cost * factor,
+            join_probe_cost=self.join_probe_cost * factor,
+        )
+
+
+#: Cost model used by the paper-scale benchmark experiments.
+PAPER_COSTS = CostModel()
+
+#: Cost model with negligible CPU costs, for pure-correctness tests.
+ZERO_CPU_COSTS = CostModel(
+    route_cost=0.0,
+    selection_cost=0.0,
+    stem_build_cost=0.0,
+    stem_probe_cost=0.0,
+    am_handle_cost=0.0,
+    join_probe_cost=0.0,
+)

@@ -1,0 +1,331 @@
+"""The eddy: the adaptive tuple router at the heart of the architecture.
+
+Paper section 2.1.1: "The eddy's role is to continuously route tuples among
+the rest of the modules, according to a routing policy. ... A tuple is
+removed from the eddy's dataflow and sent to the output if it spans all base
+tables and is verified to pass all predicates.  The eddy terminates the query
+when there are no tuples in the dataflow, and each module has finished
+processing all the tuples sent to it."
+
+The eddy here is deliberately *mechanism only*:
+
+* a :class:`DestinationResolver` (normally the
+  :class:`~repro.core.constraints.ConstraintChecker`) says which routings are
+  legal and when a tuple is ready for output;
+* a :class:`~repro.core.policies.base.RoutingPolicy` chooses among the legal
+  destinations;
+* the eddy executes the choices on the discrete-event simulator, handles
+  module backpressure, collects outputs, and detects termination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+from repro.errors import ExecutionError
+from repro.core.constraints import ConstraintChecker, Destination
+from repro.core.costs import CostModel
+from repro.core.modules.access import IndexAMModule, ScanAMModule
+from repro.core.modules.base import Module, Routable
+from repro.core.modules.selection import SelectionModule
+from repro.core.modules.stem_module import SteMModule
+from repro.core.policies.base import RoutingPolicy
+from repro.core.tuples import EOTTuple, QTuple
+from repro.sim.queues import BoundedQueue
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceLog
+
+
+class DestinationResolver(Protocol):
+    """What the eddy needs to know about the architecture it is routing for."""
+
+    def destinations(self, tuple_: QTuple) -> list[Destination]:
+        """Legal destinations for a tuple."""
+
+    def ready_for_output(self, tuple_: QTuple) -> bool:
+        """True if the tuple is a finished query result."""
+
+
+@dataclass
+class OutputRecord:
+    """One emitted result tuple, with the virtual time it was produced."""
+
+    time: float
+    tuple: QTuple
+
+
+class Eddy:
+    """The routing operator.
+
+    Args:
+        simulator: the discrete-event simulator driving execution.
+        policy: the routing policy.
+        resolver: legal-destination resolver (ConstraintChecker for the SteM
+            architecture, a join-module resolver for the Figure 1(b) baseline).
+        cost_model: per-operation virtual-time costs.
+        strict_constraints: re-validate every policy choice and raise
+            :class:`RoutingViolationError` on violations (useful for testing
+            custom policies; adds overhead).
+        max_routing_steps: safety bound on total routing decisions.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        policy: RoutingPolicy,
+        resolver: DestinationResolver | None = None,
+        cost_model: CostModel | None = None,
+        strict_constraints: bool = False,
+        max_routing_steps: int = 10_000_000,
+        trace: TraceLog | None = None,
+    ):
+        self.sim = simulator
+        self.policy = policy
+        self.resolver = resolver
+        self.costs = cost_model or CostModel()
+        self.strict_constraints = strict_constraints
+        self.max_routing_steps = max_routing_steps
+        self.trace = trace
+
+        self._ready: BoundedQueue[Routable] = BoundedQueue(None, name="eddy")
+        self._blocked: dict[str, list[Routable]] = {}
+        self._routing_scheduled = False
+        self._timestamps = itertools.count(1)
+        #: User-interest preference predicates (paper §4.1): not filters,
+        #: they only raise the priority of matching tuples so policies can
+        #: favour them.
+        self.preferences: list = []
+
+        #: Module registries (populated by register_* methods).
+        self.modules: dict[str, Module] = {}
+        self.stems: dict[str, SteMModule] = {}
+        self.selections: list[SelectionModule] = []
+        self.scan_ams: dict[str, list[ScanAMModule]] = {}
+        self.index_ams: dict[str, list[IndexAMModule]] = {}
+        self.join_modules: list[Module] = []
+
+        #: Results and statistics.
+        self.outputs: list[OutputRecord] = []
+        #: Times at which composite (partial-result) tuples of each span
+        #: first entered the dataflow — the "partial results" the paper's
+        #: interactive/FFF setting cares about (section 3.4's motivation for
+        #: adaptive spanning trees).
+        self.partial_series: dict[frozenset[str], list[float]] = {}
+        self.stats: dict[str, int] = {
+            "routings": 0,
+            "retired": 0,
+            "dropped_failed": 0,
+            "eots_routed": 0,
+            "blocked_offers": 0,
+        }
+
+    # -- module registration -----------------------------------------------------
+
+    def _register(self, module: Module) -> None:
+        if module.name in self.modules:
+            raise ExecutionError(f"duplicate module name {module.name!r}")
+        self.modules[module.name] = module
+        module.attach(self)
+
+    def register_stem(self, alias: str, module: SteMModule) -> None:
+        """Register the SteM serving an alias."""
+        self._register(module)
+        self.stems[alias] = module
+
+    def register_selection(self, module: SelectionModule) -> None:
+        """Register a selection module."""
+        self._register(module)
+        self.selections.append(module)
+
+    def register_scan_am(self, alias: str, module: ScanAMModule) -> None:
+        """Register a scan access module feeding an alias."""
+        self._register(module)
+        self.scan_ams.setdefault(alias, []).append(module)
+
+    def register_index_am(self, alias: str, module: IndexAMModule) -> None:
+        """Register an index access module on an alias."""
+        self._register(module)
+        self.index_ams.setdefault(alias, []).append(module)
+
+    def register_join_module(self, module: Module) -> None:
+        """Register an encapsulated join module (Figure 1(b) baseline)."""
+        self._register(module)
+        self.join_modules.append(module)
+
+    def set_resolver(self, resolver: DestinationResolver) -> None:
+        """Attach the destination resolver (after modules are registered)."""
+        self.resolver = resolver
+
+    # -- EddyRuntime interface (used by modules) -----------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def schedule(self, delay: float, callback, label: str = "") -> None:
+        """Schedule a callback on the simulator."""
+        self.sim.schedule(delay, callback, label)
+
+    def next_timestamp(self) -> float:
+        """Next global build timestamp (a monotonically increasing integer)."""
+        return float(next(self._timestamps))
+
+    def has_scan_am(self, alias: str) -> bool:
+        """True if the alias is fed by at least one scan access method."""
+        return bool(self.scan_ams.get(alias))
+
+    def expected_scan_wait(self, alias: str) -> float | None:
+        """Expected wait for a specific matching tuple to arrive by scan.
+
+        Returns None when no scan will deliver it (no scan AM, or all scans
+        already finished).
+        """
+        ams = self.scan_ams.get(alias)
+        if not ams:
+            return None
+        remaining = [am.expected_remaining_time() for am in ams if not am.finished]
+        if not remaining:
+            return None
+        # The matching tuple is equally likely anywhere in the remainder.
+        return 0.5 * min(remaining)
+
+    def to_eddy(self, item: Routable, source: Module | None = None) -> None:
+        """Deliver a tuple (or EOT) into the eddy's dataflow."""
+        del source
+        if isinstance(item, QTuple):
+            for preference in self.preferences:
+                if (
+                    preference.priority > item.priority
+                    and preference.can_evaluate(item.aliases)
+                    and preference.evaluate(item.components)
+                ):
+                    item.priority = preference.priority
+            if not item.is_singleton and not item.visits:
+                # Count each composite only on its first entry into the
+                # dataflow (bounce-backs would otherwise double-count it).
+                self.partial_series.setdefault(item.aliases, []).append(self.now)
+        self._ready.push(item)
+        self._schedule_routing()
+
+    def notify_idle(self, module: Module) -> None:
+        """Retry offers that were blocked on the module's full queue."""
+        blocked = self._blocked.get(module.name)
+        while blocked and not module.queue.is_full:
+            item = blocked.pop(0)
+            if not module.offer(item):
+                blocked.insert(0, item)
+                break
+
+    # -- execution ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all modules (scans begin delivering) and the routing loop."""
+        for module in self.modules.values():
+            module.start()
+        self._schedule_routing()
+
+    def run(self, until: float | None = None) -> float:
+        """Start the query and run the simulator to completion (or ``until``)."""
+        self.start()
+        return self.sim.run(until=until)
+
+    def _schedule_routing(self) -> None:
+        if self._routing_scheduled or self._ready.is_empty:
+            return
+        self._routing_scheduled = True
+        self.sim.schedule(self.costs.route_cost, self._route_next, label="eddy:route")
+
+    def _route_next(self) -> None:
+        self._routing_scheduled = False
+        if self._ready.is_empty:
+            return
+        item = self._ready.pop()
+        self.stats["routings"] += 1
+        if self.stats["routings"] > self.max_routing_steps:
+            raise ExecutionError(
+                f"exceeded {self.max_routing_steps} routing steps; "
+                "likely an infinite routing loop"
+            )
+        if isinstance(item, EOTTuple):
+            self._route_eot(item)
+        else:
+            self._route_tuple(item)
+        self._schedule_routing()
+
+    def _route_eot(self, eot: EOTTuple) -> None:
+        self.stats["eots_routed"] += 1
+        stem = self.stems.get(eot.alias)
+        if stem is not None:
+            self._deliver(stem, eot)
+
+    def _route_tuple(self, tuple_: QTuple) -> None:
+        assert self.resolver is not None, "no destination resolver attached"
+        if tuple_.failed:
+            self.stats["dropped_failed"] += 1
+            return
+        if self.resolver.ready_for_output(tuple_):
+            self._emit(tuple_)
+            return
+        destinations = self.resolver.destinations(tuple_)
+        if not destinations:
+            self._retire(tuple_)
+            return
+        choice = self.policy.choose(tuple_, destinations, self)
+        if choice is None:
+            required = [d for d in destinations if d.required]
+            if required:
+                # Policies may not decline required work.
+                choice = required[0]
+            else:
+                self._retire(tuple_)
+                return
+        if self.strict_constraints and isinstance(self.resolver, ConstraintChecker):
+            self.resolver.validate(tuple_, choice)
+        if self.trace is not None:
+            self.trace.record(self.now, "route", (tuple_.tuple_id, choice.module.name))
+        tuple_.record_visit(choice.module.name)
+        self._deliver(choice.module, tuple_)
+
+    def _deliver(self, module: Module, item: Routable) -> None:
+        if not module.offer(item):
+            self.stats["blocked_offers"] += 1
+            self._blocked.setdefault(module.name, []).append(item)
+
+    def _emit(self, tuple_: QTuple) -> None:
+        self.outputs.append(OutputRecord(self.now, tuple_))
+        self.policy.on_output(tuple_, self)
+        if self.trace is not None:
+            self.trace.record(self.now, "output", tuple_.tuple_id)
+
+    def _retire(self, tuple_: QTuple) -> None:
+        self.stats["retired"] += 1
+        self.policy.on_retire(tuple_, self)
+        if self.trace is not None:
+            self.trace.record(self.now, "retire", tuple_.tuple_id)
+
+    # -- results ---------------------------------------------------------------------
+
+    @property
+    def result_tuples(self) -> list[QTuple]:
+        """The emitted result tuples, in output order."""
+        return [record.tuple for record in self.outputs]
+
+    def output_series(self) -> list[tuple[float, int]]:
+        """Cumulative (time, result count) series — the paper's y-axis."""
+        return [(record.time, position + 1) for position, record in enumerate(self.outputs)]
+
+    @property
+    def completion_time(self) -> float | None:
+        """Virtual time of the last output, or None if nothing was produced."""
+        if not self.outputs:
+            return None
+        return self.outputs[-1].time
+
+    def __repr__(self) -> str:
+        return (
+            f"Eddy(policy={self.policy.name}, modules={len(self.modules)}, "
+            f"outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,298 @@
+"""Access modules (AMs): scans and asynchronous index lookups.
+
+Paper section 2.1.3.  An AM encapsulates a single access method over a data
+source.  Scans deliver every row of their table over time (at the source's
+delivery rate); index AMs accept probe tuples, perform asynchronous lookups
+(modelled as fixed-latency operations on the simulator, exactly like the
+paper's "sleeps of identical duration"), and return the matching rows plus an
+End-Of-Transmission tuple encoding the probing predicate.
+
+Index AMs additionally de-duplicate lookups by key: a probe whose key is
+already pending or answered does not trigger a second remote lookup.  This is
+the behaviour of the WSQ/DSQ-style rendezvous buffer the paper builds on; it
+is what makes the number of index probes in Figure 7(ii) equal for the
+join-module and SteM architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.modules.base import Module, Routable
+from repro.core.tuples import EOTTuple, QTuple, singleton_tuple
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import Comparison, Predicate
+from repro.sim.latency import AvailabilityModel, ConstantLatency, LatencyModel
+from repro.storage.catalog import IndexSpec, ScanSpec
+from repro.storage.table import Table
+
+
+class ScanAMModule(Module):
+    """A scan access method delivering rows at a configurable rate."""
+
+    kind = "scan_am"
+
+    def __init__(
+        self,
+        spec: ScanSpec,
+        table: Table,
+        alias: str,
+        name: str | None = None,
+    ):
+        super().__init__(name or f"am:{spec.name}:{alias}", cost=spec.cost_per_row)
+        self.spec = spec
+        self.table = table
+        self.alias = alias
+        self.delivered = 0
+        self.total = len(table)
+        self.finished = False
+        self._last_delivery_time = 0.0
+        self.stats.update({"delivered": 0, "seed_probes": 0})
+
+    def start(self) -> None:
+        """Schedule every row delivery plus the final scan EOT."""
+        assert self.runtime is not None
+        rate = max(self.spec.rate, 1e-9)
+        last_time = self.spec.initial_delay
+        for position, row in enumerate(self.table):
+            time = self.spec.initial_delay + (position + 1) / rate
+            if self.spec.stall_at is not None and time >= self.spec.stall_at:
+                time += self.spec.stall_duration
+            last_time = time
+            self.runtime.schedule(
+                max(0.0, time - self.runtime.now),
+                self._make_delivery(row),
+                label=f"{self.name}:deliver",
+            )
+        self.runtime.schedule(
+            max(0.0, last_time - self.runtime.now) + 1e-9,
+            self._deliver_eot,
+            label=f"{self.name}:eot",
+        )
+
+    def _make_delivery(self, row):
+        def deliver() -> None:
+            assert self.runtime is not None
+            self.delivered += 1
+            self.stats["delivered"] += 1
+            self._last_delivery_time = self.runtime.now
+            tuple_ = singleton_tuple(
+                self.alias, row, source=self.name, created_at=self.runtime.now
+            )
+            self.runtime.to_eddy(tuple_, source=self)
+
+        return deliver
+
+    def _deliver_eot(self) -> None:
+        assert self.runtime is not None
+        self.finished = True
+        eot = EOTTuple(table=self.table.name, alias=self.alias, am_name=self.name)
+        self.runtime.to_eddy(eot, source=self)
+
+    def process(self, item: Routable) -> list[Routable]:
+        """Scans only accept seed probes; anything routed here bounces back."""
+        self.stats["seed_probes"] += 1
+        return [item]
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the table delivered so far."""
+        if not self.total:
+            return 1.0
+        return self.delivered / self.total
+
+    def expected_remaining_time(self) -> float:
+        """Rough estimate of the time until the scan completes.
+
+        The estimate is based on the declared delivery rate, but when the
+        source has gone silent for much longer than its inter-arrival gap it
+        is treated as stalled and the estimate grows with the observed
+        outage — this is the "observed performance" signal adaptive policies
+        react to when a source misbehaves mid-query.
+        """
+        if self.finished:
+            return 0.0
+        remaining = self.total - self.delivered
+        estimate = remaining / max(self.spec.rate, 1e-9)
+        if self.runtime is not None and self.delivered:
+            silence = self.runtime.now - self._last_delivery_time
+            expected_gap = 1.0 / max(self.spec.rate, 1e-9)
+            if silence > 5 * expected_gap:
+                estimate += 2.0 * silence
+        return estimate
+
+
+class IndexAMModule(Module):
+    """An asynchronous index access method with per-key lookup de-duplication.
+
+    Args:
+        spec: the catalog index specification (bind columns, latency,
+            concurrency).
+        table: the underlying table answering lookups.
+        alias: the query alias this AM feeds.
+        predicates: all query predicates (used to derive bind values from a
+            probe tuple).
+        latency: optional latency model; defaults to the spec's constant
+            latency.
+        availability: optional stall model for the source.
+        handle_cost: virtual seconds to accept a probe (the lookup itself is
+            asynchronous and does not occupy the input queue).
+    """
+
+    kind = "index_am"
+
+    def __init__(
+        self,
+        spec: IndexSpec,
+        table: Table,
+        alias: str,
+        predicates: Sequence[Predicate],
+        latency: LatencyModel | None = None,
+        availability: AvailabilityModel | None = None,
+        handle_cost: float = 1e-4,
+        name: str | None = None,
+    ):
+        super().__init__(name or f"am:{spec.name}:{alias}", cost=handle_cost)
+        self.spec = spec
+        self.table = table
+        self.alias = alias
+        self.predicates = tuple(predicates)
+        self.latency = latency or ConstantLatency(spec.latency)
+        self.availability = availability or AvailabilityModel.always_available()
+        self._pending_keys: set[tuple[Any, ...]] = set()
+        self._completed_keys: set[tuple[Any, ...]] = set()
+        self._lookup_queue: list[tuple[Any, ...]] = []
+        self._active_lookups = 0
+        #: (virtual time, cumulative lookup count) series for Figure 7(ii).
+        self.lookup_series: list[tuple[float, int]] = []
+        self.stats.update(
+            {"probes": 0, "lookups": 0, "dedup_hits": 0, "matches": 0, "unbindable": 0}
+        )
+
+    # -- probe handling -----------------------------------------------------------
+
+    def bind_key(self, probe: QTuple) -> tuple[Any, ...] | None:
+        """Derive the index key from a probe tuple, or None if unbindable.
+
+        Each bind column must be equated (by a query predicate) either to a
+        column of an alias the probe spans, or to a constant.
+        """
+        values: list[Any] = []
+        for column in self.spec.columns:
+            value = self._bind_column(probe, column)
+            if value is _UNBOUND:
+                return None
+            values.append(value)
+        return tuple(values)
+
+    def _bind_column(self, probe: QTuple, column: str) -> Any:
+        for predicate in self.predicates:
+            if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
+                continue
+            own = predicate.column_for(self.alias)
+            if own is None or own.column != column:
+                continue
+            other = predicate.other_side(self.alias)
+            if isinstance(other, ColumnRef):
+                if other.alias in probe.components:
+                    return probe.value(other.alias, other.column)
+            else:
+                return other.evaluate(probe.components)
+        return _UNBOUND
+
+    def process(self, item: Routable) -> list[Routable]:
+        assert self.runtime is not None
+        if isinstance(item, EOTTuple):
+            return []
+        assert isinstance(item, QTuple)
+        self.stats["probes"] += 1
+        key = self.bind_key(item)
+        if key is None:
+            self.stats["unbindable"] += 1
+            return [item]
+        # The probe tuple is bounced back asynchronously (i.e. immediately):
+        # its matches will reach it through its own SteM.
+        item.mark_resolved(self.alias)
+        if item.probe_completion_alias == self.alias:
+            item.probe_completion_alias = None
+        if key in self._completed_keys or key in self._pending_keys:
+            self.stats["dedup_hits"] += 1
+            return [item]
+        self._pending_keys.add(key)
+        if item.priority > 0:
+            # Prioritised probes jump the lookup queue so their matches (and
+            # hence the user-interesting results) surface earlier (§4.1).
+            self._lookup_queue.insert(0, key)
+        else:
+            self._lookup_queue.append(key)
+        self._start_lookups()
+        return [item]
+
+    # -- the asynchronous lookup pipeline -------------------------------------------
+
+    def _start_lookups(self) -> None:
+        assert self.runtime is not None
+        while self._active_lookups < self.spec.concurrency and self._lookup_queue:
+            key = self._lookup_queue.pop(0)
+            self._active_lookups += 1
+            self.stats["lookups"] += 1
+            self.lookup_series.append((self.runtime.now, int(self.stats["lookups"])))
+            delay = self.latency.sample()
+            completion = self.availability.next_available(self.runtime.now + delay)
+            self.runtime.schedule(
+                completion - self.runtime.now,
+                lambda key=key: self._complete_lookup(key),
+                label=f"{self.name}:lookup",
+            )
+
+    def _complete_lookup(self, key: tuple[Any, ...]) -> None:
+        assert self.runtime is not None
+        self._active_lookups -= 1
+        self._pending_keys.discard(key)
+        self._completed_keys.add(key)
+        matches = self.table.lookup(self.spec.columns, key)
+        if self.spec.matches_per_probe is not None:
+            matches = matches[: self.spec.matches_per_probe]
+        self.stats["matches"] += len(matches)
+        for row in matches:
+            tuple_ = singleton_tuple(
+                self.alias, row, source=self.name, created_at=self.runtime.now
+            )
+            self.runtime.to_eddy(tuple_, source=self)
+        eot = EOTTuple(
+            table=self.table.name,
+            alias=self.alias,
+            am_name=self.name,
+            bound_columns=tuple(self.spec.columns),
+            bound_values=key,
+        )
+        self.runtime.to_eddy(eot, source=self)
+        self._start_lookups()
+        self.runtime.notify_idle(self)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def pending_work(self) -> int:
+        return super().pending_work + len(self._lookup_queue) + self._active_lookups
+
+    @property
+    def outstanding_lookups(self) -> int:
+        """Lookups queued or in flight (used by cost-aware policies)."""
+        return len(self._lookup_queue) + self._active_lookups
+
+    def expected_lookup_delay(self) -> float:
+        """Expected time for a *new* probe to be answered by this index."""
+        per_lookup = self.latency.mean
+        waiting = self.outstanding_lookups / max(self.spec.concurrency, 1)
+        return (waiting + 1) * per_lookup
+
+
+class _Unbound:
+    """Sentinel distinguishing 'no binding found' from a bound None value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()

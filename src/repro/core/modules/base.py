@@ -1,0 +1,131 @@
+"""Module base class: the unit the eddy routes tuples to.
+
+Paper section 2.1: "Each module runs asynchronously in a separate thread,
+though this asynchrony can also be achieved in a single-threaded
+implementation."  Here each module is a simulated entity with
+
+* a (possibly bounded) input queue fed by the eddy,
+* a sequential service loop — one item at a time, each taking
+  ``service_time(item)`` virtual seconds,
+* a ``process`` method producing the tuples sent back to the eddy.
+
+The bounded queue plus sequential service is what reproduces the
+head-of-line blocking behaviour that motivates SteMs (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Protocol, Union
+
+from repro.core.tuples import EOTTuple, QTuple
+from repro.sim.queues import BoundedQueue
+
+#: Anything that can be routed to a module.
+Routable = Union[QTuple, EOTTuple]
+
+
+class EddyRuntime(Protocol):
+    """The interface modules use to talk back to the engine/eddy."""
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+
+    def schedule(self, delay: float, callback, label: str = "") -> None:
+        """Schedule a callback on the engine's simulator."""
+
+    def to_eddy(self, item: Routable, source: "Module") -> None:
+        """Deliver a tuple back into the eddy's dataflow."""
+
+    def next_timestamp(self) -> float:
+        """The next global build timestamp (monotonically increasing)."""
+
+    def has_scan_am(self, alias: str) -> bool:
+        """True if the alias's table has a scan access method."""
+
+    def notify_idle(self, module: "Module") -> None:
+        """Tell the eddy that the module freed queue space / went idle."""
+
+
+class Module(ABC):
+    """Base class of all eddy-routable modules.
+
+    Args:
+        name: unique module name (used by routing policies and traces).
+        cost: default per-item service time in virtual seconds.
+        queue_capacity: bound on the input queue (None = unbounded).
+    """
+
+    kind = "module"
+
+    def __init__(self, name: str, cost: float = 0.0, queue_capacity: int | None = None):
+        self.name = name
+        self.cost = cost
+        self.queue = BoundedQueue[Routable](queue_capacity, name=name)
+        self.busy = False
+        self.runtime: EddyRuntime | None = None
+        #: Operational statistics common to all modules.
+        self.stats: dict[str, float] = {"items": 0, "busy_time": 0.0}
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, runtime: EddyRuntime) -> None:
+        """Connect the module to its engine runtime."""
+        self.runtime = runtime
+
+    def start(self) -> None:
+        """Hook called once when query execution begins (e.g. scans seed here)."""
+
+    # -- queueing and service ----------------------------------------------------
+
+    def offer(self, item: Routable) -> bool:
+        """Accept an item from the eddy if the input queue has room."""
+        if not self.queue.offer(item):
+            return False
+        self._maybe_start()
+        return True
+
+    @property
+    def queue_length(self) -> int:
+        """Number of items waiting in the input queue."""
+        return len(self.queue)
+
+    @property
+    def pending_work(self) -> int:
+        """Items queued or in service (used for termination detection)."""
+        return len(self.queue) + (1 if self.busy else 0)
+
+    def _maybe_start(self) -> None:
+        if self.busy or self.queue.is_empty or self.runtime is None:
+            return
+        item = self.queue.pop()
+        self.busy = True
+        duration = self.service_time(item)
+        self.stats["busy_time"] += duration
+        self.runtime.schedule(
+            duration, lambda: self._complete(item), label=f"{self.name}:service"
+        )
+
+    def _complete(self, item: Routable) -> None:
+        assert self.runtime is not None
+        self.busy = False
+        self.stats["items"] += 1
+        outputs = self.process(item)
+        for output in outputs:
+            self.runtime.to_eddy(output, source=self)
+        self._maybe_start()
+        self.runtime.notify_idle(self)
+
+    # -- behaviour ----------------------------------------------------------------
+
+    def service_time(self, item: Routable) -> float:
+        """Service time for one item; subclasses may vary it per item."""
+        return self.cost
+
+    @abstractmethod
+    def process(self, item: Routable) -> list[Routable]:
+        """Handle one item and return the tuples to send back to the eddy."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,50 @@
+"""Selection modules (SMs).
+
+Paper section 2.1.2: a selection module returns the tuple to the eddy if it
+passes the predicate (marking the fact in its TupleState) and removes it from
+the dataflow otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.core.modules.base import Module, Routable
+from repro.core.tuples import EOTTuple, QTuple
+from repro.query.predicates import Predicate
+
+
+class SelectionModule(Module):
+    """A module evaluating one selection predicate."""
+
+    kind = "selection"
+
+    def __init__(self, predicate: Predicate, cost: float = 1e-4, name: str | None = None):
+        super().__init__(name or f"select:{predicate.name}", cost=cost)
+        self.predicate = predicate
+        self.stats.update({"passed": 0, "dropped": 0})
+
+    def process(self, item: Routable) -> list[Routable]:
+        if isinstance(item, EOTTuple):
+            # EOTs carry no data to filter; pass them through untouched.
+            return [item]
+        assert isinstance(item, QTuple)
+        if item.is_done(self.predicate):
+            return [item]
+        if self.predicate.evaluate(item.components):
+            item.mark_done([self.predicate])
+            if self.predicate.priority > item.priority:
+                # Tuples satisfying a user-prioritised predicate inherit its
+                # priority, so routing policies can favour them (§4.1).
+                item.priority = self.predicate.priority
+            self.stats["passed"] += 1
+            return [item]
+        item.failed = True
+        self.stats["dropped"] += 1
+        return []
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Fraction of processed tuples that passed (0.5 before any data)."""
+        total = self.stats["passed"] + self.stats["dropped"]
+        if not total:
+            return 0.5
+        return self.stats["passed"] / total

@@ -1,0 +1,148 @@
+"""The SteM as an eddy-routable module.
+
+Wraps a :class:`repro.core.stem.SteM` data structure with the service-loop
+behaviour of a module: builds and probes are requests arriving on the input
+queue, each with its own (small, main-memory) cost.  This is the crucial
+architectural difference from the encapsulated join modules: cache/SteM
+probes and remote index lookups live in *different* modules with *separate*
+queues, so a cheap probe never waits behind an expensive index lookup
+(paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.modules.base import Module, Routable
+from repro.core.stem import SteM
+from repro.core.tuples import EOTTuple, QTuple
+from repro.query.predicates import Predicate
+
+
+class SteMModule(Module):
+    """Eddy-facing wrapper around a SteM.
+
+    Args:
+        stem: the underlying state module.
+        predicates: all query predicates (the module selects the evaluable,
+            not-yet-done subset for each probe).
+        build_cost: virtual seconds per build request.
+        probe_cost: virtual seconds per probe request.
+    """
+
+    kind = "stem"
+
+    def __init__(
+        self,
+        stem: SteM,
+        predicates: Sequence[Predicate],
+        build_cost: float = 1e-4,
+        probe_cost: float = 2e-4,
+    ):
+        super().__init__(stem.name, cost=probe_cost)
+        self.stem = stem
+        self.predicates = tuple(predicates)
+        self.build_cost = build_cost
+        self.probe_cost = probe_cost
+        self.stats.update({"builds": 0, "probes": 0, "results": 0, "duplicates": 0})
+
+    # -- service ------------------------------------------------------------------
+
+    def service_time(self, item: Routable) -> float:
+        if isinstance(item, EOTTuple):
+            return self.build_cost
+        assert isinstance(item, QTuple)
+        if self._is_build(item):
+            return self.build_cost
+        return self.probe_cost
+
+    def _is_build(self, item: QTuple) -> bool:
+        """A singleton of this SteM's table that has not been built yet."""
+        return (
+            item.is_singleton
+            and item.single_alias in self.stem.aliases
+            and item.single_alias not in item.built
+        )
+
+    def process(self, item: Routable) -> list[Routable]:
+        assert self.runtime is not None
+        if isinstance(item, EOTTuple):
+            self.stem.build_eot(item)
+            return []
+        assert isinstance(item, QTuple)
+        if self._is_build(item):
+            return self._handle_build(item)
+        return self._handle_probe(item)
+
+    # -- builds -------------------------------------------------------------------
+
+    def _handle_build(self, item: QTuple) -> list[Routable]:
+        assert self.runtime is not None
+        self.stats["builds"] += 1
+        alias = item.single_alias
+        row = item.component(alias)
+        outcome = self.stem.build(row, self.runtime.next_timestamp())
+        if outcome.duplicate:
+            # SteM BounceBack constraint: duplicates are NOT bounced back;
+            # the redundant work of a competing AM ends here.
+            self.stats["duplicates"] += 1
+            return []
+        item.mark_built(alias, outcome.timestamp)
+        return [item]
+
+    # -- probes -------------------------------------------------------------------
+
+    def _handle_probe(self, item: QTuple) -> list[Routable]:
+        assert self.runtime is not None
+        self.stats["probes"] += 1
+        target = self._probe_target(item)
+        if target is None:
+            # Nothing to extend toward (e.g. self-join fully spanned): no-op.
+            return [item]
+        predicates = [
+            predicate
+            for predicate in self.predicates
+            if not item.is_done(predicate)
+            and predicate.can_evaluate(item.aliases | {target})
+        ]
+        outcome = self.stem.probe(item, target, predicates)
+        self.stats["results"] += len(outcome.results)
+        if outcome.results:
+            # n-ary SHJ discipline: once a probe produced concatenations, the
+            # original tuple stops probing further SteMs; its extensions
+            # carry the derivation forward (keeps derivations tree-shaped).
+            item.stop_stem_probes = True
+        if outcome.all_matches_known:
+            # No AM probe on the target can produce anything new.
+            item.exhausted.add(target)
+        if outcome.all_matches_known or self.runtime.has_scan_am(target):
+            # Either we already returned every match, or the scan on the
+            # target table will eventually deliver the missing ones and they
+            # will find this tuple in its own SteM.  No AM probe is required.
+            item.mark_resolved(target)
+        else:
+            # SteM BounceBack: the probe must stay in the dataflow until it
+            # has been probed into an access method on the target table
+            # (ProbeCompletion constraint, paper section 3.4).
+            item.probe_completion_alias = target
+        outputs: list[Routable] = list(outcome.results)
+        outputs.append(item)
+        return outputs
+
+    def _probe_target(self, item: QTuple) -> str | None:
+        for alias in self.stem.aliases:
+            if alias not in item.aliases:
+                return alias
+        return None
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of rows currently stored in the SteM."""
+        return len(self.stem)
+
+    @property
+    def scan_complete(self) -> bool:
+        """True once a scan EOT for the table has been built."""
+        return self.stem.scan_complete

@@ -1,0 +1,50 @@
+"""Eddy routing policies."""
+
+from repro.core.policies.base import (
+    DEFAULT_ACTION_ORDER,
+    RoutingPolicy,
+    order_by_action,
+    split_required,
+)
+from repro.core.policies.benefit import BenefitPolicy
+from repro.core.policies.lottery import LotteryPolicy
+from repro.core.policies.naive import NaivePolicy, RandomPolicy, StaticOrderPolicy
+
+_POLICIES = {
+    "naive": NaivePolicy,
+    "random": RandomPolicy,
+    "static": StaticOrderPolicy,
+    "lottery": LotteryPolicy,
+    "benefit": BenefitPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> RoutingPolicy:
+    """Instantiate a routing policy by name.
+
+    Args:
+        name: one of ``naive``, ``random``, ``static``, ``lottery``,
+            ``benefit``.
+        kwargs: forwarded to the policy constructor.
+    """
+    try:
+        policy_class = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    return policy_class(**kwargs)
+
+
+__all__ = [
+    "DEFAULT_ACTION_ORDER",
+    "BenefitPolicy",
+    "LotteryPolicy",
+    "NaivePolicy",
+    "RandomPolicy",
+    "RoutingPolicy",
+    "StaticOrderPolicy",
+    "make_policy",
+    "order_by_action",
+    "split_required",
+]

@@ -1,0 +1,76 @@
+"""Routing policy interface.
+
+A routing policy answers one question, over and over: *given this tuple and
+these legal destinations, where should it go next?*  Policies never see
+illegal destinations — the :class:`~repro.core.constraints.ConstraintChecker`
+filters those out first — so a policy can be arbitrarily simple or
+arbitrarily clever without endangering correctness, which is exactly the
+division of labour the paper argues for.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.constraints import Destination
+from repro.core.tuples import QTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.eddy import Eddy
+
+#: Precedence used by simple policies when ordering destination kinds.
+DEFAULT_ACTION_ORDER = ("build", "select", "probe", "am_probe")
+
+
+class RoutingPolicy(ABC):
+    """Base class for eddy routing policies."""
+
+    name = "policy"
+
+    @abstractmethod
+    def choose(
+        self, tuple_: QTuple, destinations: Sequence[Destination], eddy: "Eddy"
+    ) -> Destination | None:
+        """Pick the next destination for a tuple.
+
+        Args:
+            tuple_: the tuple being routed.
+            destinations: the legal destinations (never empty).
+            eddy: the running eddy, exposing module state (SteM sizes, scan
+                progress, index queue lengths) for cost/benefit reasoning.
+
+        Returns:
+            The chosen destination, or None to decline the *optional*
+            destinations — the eddy then retires the tuple if nothing
+            required remains (it never drops required work on a None).
+        """
+
+    def on_output(self, tuple_: QTuple, eddy: "Eddy") -> None:
+        """Hook called when a result tuple is emitted (for learning policies)."""
+
+    def on_retire(self, tuple_: QTuple, eddy: "Eddy") -> None:
+        """Hook called when a tuple leaves the dataflow without being output."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def split_required(
+    destinations: Sequence[Destination],
+) -> tuple[list[Destination], list[Destination]]:
+    """Partition destinations into (required, optional)."""
+    required = [d for d in destinations if d.required]
+    optional = [d for d in destinations if not d.required]
+    return required, optional
+
+
+def order_by_action(
+    destinations: Sequence[Destination],
+    action_order: Sequence[str] = DEFAULT_ACTION_ORDER,
+) -> list[Destination]:
+    """Stable-sort destinations by an action precedence list."""
+    ranking = {action: rank for rank, action in enumerate(action_order)}
+    return sorted(
+        destinations, key=lambda d: ranking.get(d.action, len(ranking))
+    )

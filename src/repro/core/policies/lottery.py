@@ -1,0 +1,99 @@
+"""Lottery-scheduling routing policy, after the original eddy paper.
+
+[Avnur & Hellerstein 2000] route tuples by holding a *lottery*: each module
+holds tickets, a module gains a ticket when it consumes a tuple and loses one
+(escrows it) when it returns tuples, so low-selectivity / fast modules
+accumulate tickets and win more often.  This implementation keeps per-module
+ticket counts with exponential decay, which is enough to reproduce the
+adaptive-ordering behaviour inside the SteM architecture.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.constraints import Destination
+from repro.core.policies.base import RoutingPolicy, split_required
+from repro.core.tuples import QTuple
+
+
+class LotteryPolicy(RoutingPolicy):
+    """Ticket-based routing with exploration.
+
+    Args:
+        seed: RNG seed for the lottery draws.
+        decay: multiplicative decay applied to ticket counts each draw,
+            keeping the policy responsive to changing module behaviour.
+        exploration: minimum ticket mass every module keeps, so that no
+            destination is starved entirely.
+        take_optional_probability: chance of accepting optional destinations
+            when no required ones remain.
+    """
+
+    name = "lottery"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        decay: float = 0.999,
+        exploration: float = 1.0,
+        take_optional_probability: float = 0.25,
+    ):
+        self._rng = random.Random(seed)
+        self.decay = decay
+        self.exploration = exploration
+        self.take_optional_probability = take_optional_probability
+        self._tickets: dict[str, float] = {}
+
+    # -- ticket bookkeeping (fed by the eddy's feedback hooks) --------------------
+
+    def tickets_of(self, module_name: str) -> float:
+        """Current ticket count of a module."""
+        return self._tickets.get(module_name, self.exploration)
+
+    def credit(self, module_name: str, amount: float = 1.0) -> None:
+        """Give tickets to a module (it consumed a tuple)."""
+        self._tickets[module_name] = self.tickets_of(module_name) + amount
+
+    def debit(self, module_name: str, amount: float = 1.0) -> None:
+        """Take tickets from a module (it produced output back into the eddy)."""
+        self._tickets[module_name] = max(
+            self.exploration, self.tickets_of(module_name) - amount
+        )
+
+    def _decay_all(self) -> None:
+        for name in list(self._tickets):
+            decayed = self._tickets[name] * self.decay
+            self._tickets[name] = max(self.exploration, decayed)
+
+    # -- choice ---------------------------------------------------------------------
+
+    def choose(
+        self, tuple_: QTuple, destinations: Sequence[Destination], eddy
+    ) -> Destination | None:
+        required, optional = split_required(destinations)
+        pool = required
+        if not pool:
+            if not optional:
+                return None
+            if self._rng.random() >= self.take_optional_probability:
+                return None
+            pool = optional
+        self._decay_all()
+        weights = [self.tickets_of(destination.module.name) for destination in pool]
+        total = sum(weights)
+        draw = self._rng.uniform(0.0, total)
+        accumulated = 0.0
+        for destination, weight in zip(pool, weights):
+            accumulated += weight
+            if draw <= accumulated:
+                self.credit(destination.module.name)
+                return destination
+        self.credit(pool[-1].module.name)
+        return pool[-1]
+
+    def on_output(self, tuple_: QTuple, eddy) -> None:
+        # Producing final results is good: reward the source module lightly.
+        if tuple_.source:
+            self.credit(tuple_.source, 0.1)

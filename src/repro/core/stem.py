@@ -1,0 +1,348 @@
+"""State Modules (SteMs): the paper's primary contribution.
+
+A SteM is "half a join": a dictionary over the tuples of one base table that
+supports *build* (insert), *probe* (lookup with concatenation), and
+optionally *eviction*.  This module implements the full Table 1 / Table 2
+behaviour of the paper:
+
+* set-semantics duplicate elimination on build (section 3.2, competitive
+  access methods);
+* EOT tuples stored inside the SteM, so the SteM can decide whether it
+  already holds *all* matches for a probe (section 2.1.3/3.3);
+* the TimeStamp constraint — a probe only returns matches whose build
+  timestamp is smaller than the probe's own timestamp — which makes
+  decoupled build/probe routing duplicate-free (section 3.1);
+* the LastMatchTimeStamp mechanism enabling repeated probes when the
+  BuildFirst constraint is relaxed (section 3.5);
+* secondary in-memory indexes on every join column (section 2.1.4);
+* optional bounded size with FIFO eviction, the hook used by the
+  continuous-query work (CACQ/PSOUP) that shares SteMs across queries.
+
+The SteM itself is a passive data structure; its integration with the
+simulator (service costs, queues) lives in ``repro.core.modules.stem_module``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import Comparison, Predicate
+from repro.storage.indexes import HashIndex, RowIndex, build_index
+from repro.storage.row import Row
+from repro.core.tuples import EOTTuple, QTuple
+
+
+@dataclass(frozen=True)
+class BuildOutcome:
+    """Result of building a tuple into a SteM.
+
+    Attributes:
+        duplicate: True if an identical row was already present (the build
+            tuple must then *not* be bounced back — it leaves the dataflow).
+        timestamp: the build timestamp assigned to the row (the existing
+            row's timestamp when ``duplicate`` is True).
+    """
+
+    duplicate: bool
+    timestamp: float
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of probing a SteM.
+
+    Attributes:
+        results: concatenated result tuples (probe ⨝ matching stored rows)
+            that passed the predicates and the TimeStamp constraint.
+        all_matches_known: True if the SteM is certain it holds every match
+            for this probe (because of a covering EOT); when False the probe
+            tuple may have to be bounced back for index-AM probing.
+        candidates_examined: number of stored rows inspected.
+        suppressed_by_timestamp: matches filtered out by the TimeStamp
+            constraint (they will be generated from the other side instead).
+    """
+
+    results: list[QTuple] = field(default_factory=list)
+    all_matches_known: bool = False
+    candidates_examined: int = 0
+    suppressed_by_timestamp: int = 0
+
+
+class SteM:
+    """A State Module over one base table.
+
+    Args:
+        table: the base table whose singleton tuples this SteM stores.
+        aliases: the query aliases that refer to this table (more than one
+            for self-joins; they all share this SteM, as in the paper).
+        join_columns: columns involved in equi-join predicates — a secondary
+            index is maintained on each.
+        index_kind: implementation of the secondary indexes (``"hash"``,
+            ``"sorted"``, ``"list"`` or ``"adaptive"``).
+        max_size: optional bound on the number of stored rows; when full the
+            oldest row is evicted (sliding-window behaviour).
+        name: module name used in routing traces.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        aliases: Sequence[str],
+        join_columns: Sequence[str] = (),
+        index_kind: str = "hash",
+        max_size: int | None = None,
+        name: str | None = None,
+    ):
+        self.table = table
+        self.aliases = tuple(aliases) if aliases else (table,)
+        self.join_columns = tuple(join_columns)
+        self.index_kind = index_kind
+        self.max_size = max_size
+        self.name = name or f"stem:{table}"
+        # Primary storage: insertion-ordered mapping row -> build timestamp.
+        # Row equality is over (table, values), giving set semantics for free.
+        self._rows: OrderedDict[Row, float] = OrderedDict()
+        self._indexes: dict[str, RowIndex] = {
+            column: build_index(index_kind, (column,)) for column in self.join_columns
+        }
+        # EOT state: per-AM scan completion, and per-key coverage.
+        self._scan_complete: set[str] = set()
+        self._eot_keys: dict[tuple[str, ...], set[tuple[Any, ...]]] = {}
+        self._min_timestamp: float | None = None
+        self._max_timestamp: float | None = None
+        #: Operational statistics.
+        self.stats: dict[str, int] = {
+            "builds": 0,
+            "duplicates": 0,
+            "probes": 0,
+            "matches": 0,
+            "evictions": 0,
+            "eot_builds": 0,
+        }
+
+    # -- build ------------------------------------------------------------------
+
+    def build(self, row: Row, timestamp: float) -> BuildOutcome:
+        """Insert a base-table row, assigning it ``timestamp``.
+
+        Duplicate rows (identical values) are detected and *not* inserted
+        again; the caller must then drop the build tuple instead of bouncing
+        it back (SteM BounceBack constraint, competitive-AM case).
+        """
+        if row.table != self.table:
+            raise ExecutionError(
+                f"cannot build a {row.table!r} row into the SteM on {self.table!r}"
+            )
+        self.stats["builds"] += 1
+        existing = self._rows.get(row)
+        if existing is not None:
+            self.stats["duplicates"] += 1
+            return BuildOutcome(duplicate=True, timestamp=existing)
+        self._rows[row] = timestamp
+        for index in self._indexes.values():
+            index.insert(row)
+        if self._min_timestamp is None:
+            self._min_timestamp = timestamp
+        self._max_timestamp = timestamp
+        if self.max_size is not None and len(self._rows) > self.max_size:
+            self._evict_oldest()
+        return BuildOutcome(duplicate=False, timestamp=timestamp)
+
+    def build_eot(self, eot: EOTTuple) -> None:
+        """Insert an End-Of-Transmission tuple.
+
+        A scan EOT marks the SteM as holding the *entire* table; an index EOT
+        marks one probe key as fully answered.
+        """
+        if eot.table != self.table:
+            raise ExecutionError(
+                f"EOT for table {eot.table!r} routed to the SteM on {self.table!r}"
+            )
+        self.stats["eot_builds"] += 1
+        if eot.is_scan_eot:
+            self._scan_complete.add(eot.am_name)
+        else:
+            self._eot_keys.setdefault(tuple(eot.bound_columns), set()).add(
+                tuple(eot.bound_values)
+            )
+
+    # -- probe ------------------------------------------------------------------
+
+    def probe(
+        self,
+        probe: QTuple,
+        target_alias: str,
+        predicates: Sequence[Predicate],
+        enforce_timestamp: bool = True,
+        update_last_match: bool = False,
+    ) -> ProbeOutcome:
+        """Find matches for ``probe`` among the stored rows.
+
+        Args:
+            probe: the probing tuple (must not already span ``target_alias``).
+            target_alias: the query alias the stored rows will fill.
+            predicates: the predicates to verify on the concatenation —
+                typically every query predicate evaluable over
+                ``probe.aliases | {target_alias}`` that is not yet done.
+            enforce_timestamp: apply the TimeStamp constraint (on by default;
+                switched off only in targeted unit tests demonstrating the
+                duplicate anomaly of paper Figure 3).
+            update_last_match: maintain the probe's LastMatchTimeStamp for
+                this SteM (used with repeated probes, section 3.5).
+
+        Returns:
+            A :class:`ProbeOutcome` with concatenated results and coverage.
+        """
+        if target_alias in probe.aliases:
+            raise ExecutionError(
+                f"probe already spans {target_alias!r}; cannot probe {self.name}"
+            )
+        if target_alias not in self.aliases:
+            raise ExecutionError(
+                f"alias {target_alias!r} is not served by {self.name}"
+            )
+        self.stats["probes"] += 1
+        outcome = ProbeOutcome()
+
+        bindings = self._probe_bindings(probe, target_alias, predicates)
+        candidates = self._candidate_rows(bindings)
+        floor = probe.last_match_ts.get(self.name, float("-inf"))
+        probe_timestamp = probe.timestamp
+
+        done_ids = [p.predicate_id for p in predicates]
+        for row in candidates:
+            outcome.candidates_examined += 1
+            row_timestamp = self._rows[row]
+            if row_timestamp <= floor:
+                continue
+            merged = dict(probe.components)
+            merged[target_alias] = row
+            if not all(predicate.evaluate(merged) for predicate in predicates):
+                continue
+            if enforce_timestamp and not probe_timestamp > row_timestamp:
+                outcome.suppressed_by_timestamp += 1
+                continue
+            outcome.results.append(
+                probe.extended(target_alias, row, row_timestamp, extra_done=done_ids)
+            )
+        self.stats["matches"] += len(outcome.results)
+        outcome.all_matches_known = self.covers(bindings)
+        if update_last_match and self._max_timestamp is not None:
+            probe.last_match_ts[self.name] = max(floor, self._max_timestamp)
+        return outcome
+
+    def _probe_bindings(
+        self,
+        probe: QTuple,
+        target_alias: str,
+        predicates: Sequence[Predicate],
+    ) -> dict[str, Any] | None:
+        """Equality bindings (target column -> value) implied by the probe.
+
+        Returns None when no equality binding can be derived, in which case
+        candidate enumeration falls back to a full scan of the SteM.
+        """
+        bindings: dict[str, Any] = {}
+        for predicate in predicates:
+            if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
+                continue
+            target_ref = predicate.column_for(target_alias)
+            if target_ref is None or target_ref.alias != target_alias:
+                continue
+            other = predicate.other_side(target_alias)
+            if isinstance(other, ColumnRef):
+                if other.alias not in probe.components:
+                    continue
+                bindings[target_ref.column] = probe.value(other.alias, other.column)
+            else:
+                bindings[target_ref.column] = other.evaluate(probe.components)
+        return bindings or None
+
+    def _candidate_rows(self, bindings: Mapping[str, Any] | None) -> Iterable[Row]:
+        """Rows worth examining for a probe with the given bindings."""
+        if bindings:
+            for column, value in bindings.items():
+                index = self._indexes.get(column)
+                if index is not None:
+                    return index.lookup((value,))
+        return list(self._rows)
+
+    # -- EOT coverage -------------------------------------------------------------
+
+    def covers(self, bindings: Mapping[str, Any] | None) -> bool:
+        """True if the SteM certainly holds all matches for these bindings.
+
+        Coverage holds when a scan over the table has completed (scan EOT),
+        or when an index EOT was recorded for a subset of the binding columns
+        with exactly the bound values.
+        """
+        if self._scan_complete:
+            return True
+        if not bindings:
+            return False
+        for columns, value_set in self._eot_keys.items():
+            if all(column in bindings for column in columns):
+                key = tuple(bindings[column] for column in columns)
+                if key in value_set:
+                    return True
+        return False
+
+    @property
+    def scan_complete(self) -> bool:
+        """True once a scan EOT has been built into this SteM."""
+        return bool(self._scan_complete)
+
+    # -- eviction ----------------------------------------------------------------
+
+    def evict(self, row: Row) -> bool:
+        """Remove a row (sliding-window / memory-pressure hook)."""
+        if row not in self._rows:
+            return False
+        del self._rows[row]
+        for index in self._indexes.values():
+            index.remove(row)
+        self.stats["evictions"] += 1
+        # Coverage may no longer hold once data has been dropped.
+        self._scan_complete.clear()
+        self._eot_keys.clear()
+        return True
+
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._rows))
+        self.evict(oldest)
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(list(self._rows))
+
+    def timestamp_of(self, row: Row) -> float | None:
+        """The build timestamp of a stored row, or None if absent."""
+        return self._rows.get(row)
+
+    @property
+    def min_timestamp(self) -> float | None:
+        """Smallest build timestamp stored (enables the Grace-join shortcut
+        of section 3.1: probes older than this cannot produce results)."""
+        return min(self._rows.values()) if self._rows else None
+
+    @property
+    def max_timestamp(self) -> float | None:
+        """Largest build timestamp stored."""
+        return max(self._rows.values()) if self._rows else None
+
+    def __repr__(self) -> str:
+        return (
+            f"SteM({self.table}, rows={len(self._rows)}, "
+            f"joins={list(self.join_columns)}, scan_complete={self.scan_complete})"
+        )

@@ -1,0 +1,287 @@
+"""Tuples in the eddy's dataflow and the state they carry (TupleState).
+
+Paper section 2.1: "Each tuple also carries some state with it, called its
+TupleState, to track the work it has done in furthering query progress."  In
+this implementation the dataflow tuple (:class:`QTuple`) owns both the data
+(its base-table components) and the TupleState:
+
+* the tables/aliases it spans (definition 1 of the paper);
+* the predicates it has passed (the "done bits");
+* per-component build timestamps, used by the TimeStamp constraint;
+* bookkeeping for the BoundedRepetition and ProbeCompletion constraints;
+* resolution state — for every join-graph neighbour, whether this tuple's
+  matches from that side are already guaranteed (so the eddy knows when the
+  tuple can be retired from the dataflow).
+
+End-of-transmission markers (:class:`EOTTuple`) are also dataflow tuples, as
+the paper prescribes, so that they can be built into SteMs alongside data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ExecutionError
+from repro.query.predicates import Predicate
+from repro.storage.row import Row
+
+#: Timestamp of a singleton tuple that has not yet been built into a SteM.
+#: The paper defines it as infinity so that an un-built probe tuple receives
+#: every match already present in a SteM.
+UNBUILT = math.inf
+
+_qtuple_ids = itertools.count(1)
+
+
+class QTuple:
+    """A (possibly composite) tuple flowing through the eddy.
+
+    Args:
+        components: mapping from alias to the base-table :class:`Row` for
+            that alias.  A singleton tuple has exactly one entry.
+        timestamps: per-alias build timestamps; missing aliases default to
+            :data:`UNBUILT`.
+        done: predicate ids already verified on this tuple.
+        source: name of the access module that produced the (first) base
+            component — used for provenance and competitive-AM statistics.
+        priority: user-interest priority inherited from prioritised
+            predicates (paper section 4.1).
+    """
+
+    __slots__ = (
+        "tuple_id",
+        "components",
+        "timestamps",
+        "done",
+        "source",
+        "priority",
+        "visits",
+        "built",
+        "resolved",
+        "exhausted",
+        "stop_stem_probes",
+        "probe_completion_alias",
+        "last_match_ts",
+        "created_at",
+        "failed",
+    )
+
+    def __init__(
+        self,
+        components: Mapping[str, Row],
+        timestamps: Mapping[str, float] | None = None,
+        done: Iterable[int] = (),
+        source: str = "",
+        priority: float = 0.0,
+        created_at: float = 0.0,
+    ):
+        if not components:
+            raise ExecutionError("a QTuple needs at least one component")
+        self.tuple_id = next(_qtuple_ids)
+        self.components: dict[str, Row] = dict(components)
+        self.timestamps: dict[str, float] = {
+            alias: UNBUILT for alias in self.components
+        }
+        if timestamps:
+            self.timestamps.update(timestamps)
+        self.done: set[int] = set(done)
+        self.source = source
+        self.priority = priority
+        #: Number of times this tuple has been routed to each module
+        #: (BoundedRepetition constraint).
+        self.visits: dict[str, int] = {}
+        #: Aliases whose component has been built into its SteM.
+        self.built: set[str] = set()
+        #: Unspanned neighbour aliases whose matches are guaranteed to be
+        #: produced without further routing of *this* tuple (see eddy docs).
+        self.resolved: set[str] = set()
+        #: Unspanned neighbour aliases for which a SteM probe returned *all*
+        #: matches (EOT-covered) — probing an AM on them cannot yield more.
+        self.exhausted: set[str] = set()
+        #: Set once a SteM probe produced concatenated results: from then on
+        #: only the *extensions* keep probing SteMs (the n-ary SHJ discipline
+        #: of paper section 2.3), which keeps derivations tree-shaped and
+        #: therefore duplicate-free in multi-way joins.
+        self.stop_stem_probes = False
+        #: When this tuple is a "prior prober" (paper definition 3), the
+        #: alias of its probe completion table; None otherwise.
+        self.probe_completion_alias: str | None = None
+        #: Per-target-alias LastMatchTimeStamp, used when the BuildFirst
+        #: constraint is relaxed and repeated probes are allowed.
+        self.last_match_ts: dict[str, float] = {}
+        self.created_at = created_at
+        #: Set when a predicate evaluated to false; the tuple is then dropped.
+        self.failed = False
+
+    # -- span and identity -----------------------------------------------------
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """The aliases this tuple spans (paper definition 1)."""
+        return frozenset(self.components)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True if the tuple has exactly one base-table component."""
+        return len(self.components) == 1
+
+    @property
+    def single_alias(self) -> str:
+        """The alias of a singleton tuple."""
+        if not self.is_singleton:
+            raise ExecutionError(f"tuple {self} spans {len(self.components)} aliases")
+        return next(iter(self.components))
+
+    @property
+    def timestamp(self) -> float:
+        """The tuple's timestamp: that of its last-arriving component.
+
+        For singleton tuples that have not yet been built this is
+        :data:`UNBUILT` (infinity).
+        """
+        return max(self.timestamps[alias] for alias in self.components)
+
+    def component(self, alias: str) -> Row:
+        """The base-table component for an alias."""
+        return self.components[alias]
+
+    def value(self, alias: str, column: str) -> Any:
+        """Shorthand for ``self.components[alias][column]``."""
+        return self.components[alias][column]
+
+    def spans(self, aliases: Iterable[str]) -> bool:
+        """True if the tuple spans every alias given."""
+        return frozenset(aliases) <= self.aliases
+
+    def identity(self) -> tuple:
+        """A hashable identity over (alias, table, values) of all components.
+
+        Used by tests and by duplicate detection at the output.
+        """
+        parts = []
+        for alias in sorted(self.components):
+            row = self.components[alias]
+            parts.append((alias, row.table, row.values))
+        return tuple(parts)
+
+    # -- TupleState updates ----------------------------------------------------
+
+    def mark_done(self, predicates: Iterable[Predicate | int]) -> None:
+        """Record that predicates have been verified on this tuple."""
+        for predicate in predicates:
+            if isinstance(predicate, int):
+                self.done.add(predicate)
+            else:
+                self.done.add(predicate.predicate_id)
+    def is_done(self, predicate: Predicate) -> bool:
+        """True if the predicate has already been verified."""
+        return predicate.predicate_id in self.done
+
+    def record_visit(self, module_name: str) -> int:
+        """Record a routing of this tuple to a module; return the new count."""
+        count = self.visits.get(module_name, 0) + 1
+        self.visits[module_name] = count
+        return count
+
+    def visit_count(self, module_name: str) -> int:
+        """How many times this tuple has been routed to the module."""
+        return self.visits.get(module_name, 0)
+
+    def mark_built(self, alias: str, timestamp: float) -> None:
+        """Record that the component for ``alias`` was built at ``timestamp``."""
+        self.built.add(alias)
+        self.timestamps[alias] = timestamp
+
+    def mark_resolved(self, alias: str) -> None:
+        """Record that matches from ``alias`` no longer need this tuple's help."""
+        self.resolved.add(alias)
+
+    def is_resolved(self, alias: str) -> bool:
+        """True if the neighbour alias has been resolved for this tuple."""
+        return alias in self.resolved
+
+    # -- derivation -------------------------------------------------------------
+
+    def extended(
+        self,
+        alias: str,
+        row: Row,
+        row_timestamp: float,
+        extra_done: Iterable[int] = (),
+        created_at: float | None = None,
+    ) -> "QTuple":
+        """A new tuple with an additional base-table component.
+
+        The new tuple inherits the done bits, priority and source of this
+        tuple; per-module visit counts and resolution state start fresh
+        (the concatenated tuple is a new unit of routing work).
+        """
+        if alias in self.components:
+            raise ExecutionError(f"tuple already spans alias {alias!r}")
+        components = dict(self.components)
+        components[alias] = row
+        timestamps = dict(self.timestamps)
+        timestamps[alias] = row_timestamp
+        result = QTuple(
+            components,
+            timestamps=timestamps,
+            done=set(self.done) | set(extra_done),
+            source=self.source,
+            priority=self.priority,
+            created_at=self.created_at if created_at is None else created_at,
+        )
+        result.built = set(self.built) | {alias}
+        return result
+
+    def __repr__(self) -> str:
+        span = ",".join(sorted(self.components))
+        return f"QTuple#{self.tuple_id}[{span}]"
+
+
+@dataclass(frozen=True)
+class EOTTuple:
+    """An End-Of-Transmission marker, encoded as a dataflow tuple.
+
+    Paper section 2.1.3: when an AM has returned all matches for a probe it
+    sends an EOT tuple encoding the probing predicate; for a scan the
+    predicate is simply "true".  EOT tuples are built into SteMs so that the
+    SteM can decide whether it holds *all* matches for a future probe.
+
+    Attributes:
+        table: the base table the AM reads.
+        alias: the query alias the EOT applies to (equal to ``table`` unless
+            the query uses explicit aliases).
+        am_name: name of the access module that emitted the EOT.
+        bound_columns: the bind columns of the probe; empty for a scan EOT.
+        bound_values: the values the probe bound them to; empty for a scan EOT.
+    """
+
+    table: str
+    alias: str
+    am_name: str
+    bound_columns: tuple[str, ...] = ()
+    bound_values: tuple[Any, ...] = ()
+
+    @property
+    def is_scan_eot(self) -> bool:
+        """True for the "predicate = true" EOT emitted by a completed scan."""
+        return not self.bound_columns
+
+    def __repr__(self) -> str:
+        if self.is_scan_eot:
+            return f"EOT({self.alias}: scan complete)"
+        bindings = ", ".join(
+            f"{column}={value!r}"
+            for column, value in zip(self.bound_columns, self.bound_values)
+        )
+        return f"EOT({self.alias}: {bindings})"
+
+
+def singleton_tuple(
+    alias: str, row: Row, source: str = "", created_at: float = 0.0
+) -> QTuple:
+    """Create a singleton :class:`QTuple` for a freshly delivered row."""
+    return QTuple({alias: row}, source=source, created_at=created_at)

@@ -1,0 +1,30 @@
+"""Execution engines: SteMs (Figure 1(c)), eddy+joins (1(b)), static (1(a))."""
+
+from repro.engine.api import ENGINES, execute
+from repro.engine.joins_engine import (
+    EddyJoinsEngine,
+    JoinPlanResolver,
+    JoinSpec,
+    default_join_plan,
+    run_eddy_joins,
+)
+from repro.engine.results import ExecutionResult, Series
+from repro.engine.static_engine import StaticEngine, choose_join_order, run_static
+from repro.engine.stems_engine import StemsEngine, run_stems
+
+__all__ = [
+    "ENGINES",
+    "EddyJoinsEngine",
+    "ExecutionResult",
+    "JoinPlanResolver",
+    "JoinSpec",
+    "Series",
+    "StaticEngine",
+    "StemsEngine",
+    "choose_join_order",
+    "default_join_plan",
+    "execute",
+    "run_eddy_joins",
+    "run_static",
+    "run_stems",
+]

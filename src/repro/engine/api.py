@@ -1,0 +1,68 @@
+"""The public one-call API: :func:`execute`."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExecutionError
+from repro.core.costs import CostModel
+from repro.core.policies import RoutingPolicy
+from repro.engine.joins_engine import JoinSpec, run_eddy_joins
+from repro.engine.results import ExecutionResult
+from repro.engine.static_engine import run_static
+from repro.engine.stems_engine import run_stems
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.storage.catalog import Catalog
+
+#: The engines selectable through :func:`execute`.
+ENGINES = ("stems", "eddy-joins", "static")
+
+
+def execute(
+    query: Query | str,
+    catalog: Catalog,
+    engine: str = "stems",
+    policy: RoutingPolicy | str = "benefit",
+    cost_model: CostModel | None = None,
+    plan: Sequence[JoinSpec] | None = None,
+    until: float | None = None,
+    strict_constraints: bool = False,
+) -> ExecutionResult:
+    """Execute a select-project-join query and return its results and metrics.
+
+    Args:
+        query: a :class:`~repro.query.query.Query` or SQL text
+            (``SELECT ... FROM ... WHERE ...``).
+        catalog: the catalog holding the base tables and their access methods.
+        engine: ``"stems"`` (the paper's architecture, default),
+            ``"eddy-joins"`` (the pre-SteM eddy baseline) or ``"static"``
+            (a traditional optimize-then-execute plan).
+        policy: routing policy name or instance (adaptive engines only).
+        cost_model: virtual-time cost model (adaptive engines only).
+        plan: explicit join-module plan (``eddy-joins`` engine only).
+        until: stop the simulation at this virtual time (adaptive engines).
+        strict_constraints: validate every routing decision against the
+            paper's Table 2 constraints (``stems`` engine only).
+
+    Returns:
+        An :class:`~repro.engine.results.ExecutionResult`.
+    """
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if engine == "stems":
+        return run_stems(
+            parsed,
+            catalog,
+            policy=policy,
+            cost_model=cost_model,
+            until=until,
+            strict_constraints=strict_constraints,
+        )
+    if engine == "eddy-joins":
+        return run_eddy_joins(
+            parsed, catalog, plan=plan, policy=None if policy == "benefit" else policy,
+            cost_model=cost_model, until=until,
+        )
+    if engine == "static":
+        return run_static(parsed, catalog)
+    raise ExecutionError(f"unknown engine {engine!r}; expected one of {ENGINES}")

@@ -1,0 +1,141 @@
+"""Execution results and the online metrics the paper's figures plot."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.tuples import QTuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """A cumulative time series: (virtual time, cumulative count) pairs."""
+
+    points: tuple[tuple[float, int], ...] = ()
+    name: str = ""
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, int]], name: str = "") -> "Series":
+        return cls(tuple(points), name=name)
+
+    @property
+    def final_count(self) -> int:
+        """The last cumulative count (0 for an empty series)."""
+        return self.points[-1][1] if self.points else 0
+
+    @property
+    def final_time(self) -> float:
+        """The time of the last point (0.0 for an empty series)."""
+        return self.points[-1][0] if self.points else 0.0
+
+    def count_at(self, time: float) -> int:
+        """Cumulative count at a given virtual time."""
+        if not self.points:
+            return 0
+        times = [point[0] for point in self.points]
+        position = bisect.bisect_right(times, time)
+        if position == 0:
+            return 0
+        return self.points[position - 1][1]
+
+    def time_to_count(self, count: int) -> float | None:
+        """Earliest time at which the cumulative count reaches ``count``."""
+        for time, value in self.points:
+            if value >= count:
+                return time
+        return None
+
+    def sampled(self, times: Sequence[float]) -> list[tuple[float, int]]:
+        """The series sampled at the given times (for tabular reports)."""
+        return [(time, self.count_at(time)) for time in times]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+@dataclass
+class ExecutionResult:
+    """Everything an engine reports about one query execution.
+
+    Attributes:
+        engine: name of the engine that ran the query.
+        query_name: the query's name.
+        tuples: the result tuples (as :class:`QTuple` objects).
+        output_series: cumulative results over virtual time (Figures 7(i)/8).
+        completion_time: virtual time of the last result (None if no results).
+        final_time: virtual time when the whole execution quiesced.
+        index_probe_series: per access-method cumulative index lookups over
+            time (Figure 7(ii)), keyed by module name.
+        partial_series: cumulative counts of composite (partial-result)
+            tuples entering the dataflow, keyed by their span (e.g.
+            ``"A+B"``) — the interactive "partial results" of section 3.4.
+        module_stats: per-module operational statistics.
+        eddy_stats: the eddy's own statistics (routings, retirements...).
+    """
+
+    engine: str
+    query_name: str
+    tuples: list[QTuple] = field(default_factory=list)
+    output_series: Series = field(default_factory=Series)
+    completion_time: float | None = None
+    final_time: float = 0.0
+    index_probe_series: dict[str, Series] = field(default_factory=dict)
+    partial_series: dict[str, Series] = field(default_factory=dict)
+    module_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    eddy_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        """Number of result tuples."""
+        return len(self.tuples)
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Results as flat ``{"alias.column": value}`` dictionaries."""
+        flattened = []
+        for tuple_ in self.tuples:
+            row: dict[str, Any] = {}
+            for alias in sorted(tuple_.components):
+                component = tuple_.components[alias]
+                for column, value in component.as_dict().items():
+                    row[f"{alias}.{column}"] = value
+            flattened.append(row)
+        return flattened
+
+    def identities(self) -> list[tuple]:
+        """Hashable identities of the results (for set comparisons in tests)."""
+        return [tuple_.identity() for tuple_ in self.tuples]
+
+    def has_duplicates(self) -> bool:
+        """True if the same logical result was emitted more than once."""
+        identities = self.identities()
+        return len(identities) != len(set(identities))
+
+    def total_index_lookups(self) -> int:
+        """Total index lookups across all access methods / join modules."""
+        return sum(series.final_count for series in self.index_probe_series.values())
+
+    def results_at(self, time: float) -> int:
+        """Cumulative results produced by the given virtual time."""
+        return self.output_series.count_at(time)
+
+    def partials_at(self, span: Iterable[str], time: float) -> int:
+        """Cumulative partial results spanning exactly ``span`` by ``time``."""
+        key = "+".join(sorted(span))
+        series = self.partial_series.get(key)
+        return series.count_at(time) if series is not None else 0
+
+    def summary(self) -> str:
+        """A short human-readable summary line."""
+        completion = (
+            f"{self.completion_time:.1f}s" if self.completion_time is not None else "n/a"
+        )
+        return (
+            f"[{self.engine}] {self.query_name}: {self.row_count} rows, "
+            f"last result at {completion}, quiesced at {self.final_time:.1f}s, "
+            f"{self.total_index_lookups()} index lookups"
+        )

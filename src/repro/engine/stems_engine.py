@@ -1,0 +1,198 @@
+"""The SteM execution engine: paper Figure 1(c).
+
+Query instantiation follows paper section 2.2 exactly:
+
+1. validate the query against the sources' bind-field constraints
+   (:func:`repro.query.binding.validate_bindings`);
+2. create an access module for *every* access method that could possibly be
+   used (all scans, all bindable indexes — they run competitively);
+3. create a selection module for every selection predicate;
+4. create a SteM on every base table in the query (one per alias);
+5. seed the scans.
+
+The eddy then routes tuples under the Table 2 constraints with whatever
+routing policy the caller selects.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.costs import CostModel
+from repro.core.eddy import Eddy
+from repro.core.modules.access import IndexAMModule, ScanAMModule
+from repro.core.modules.selection import SelectionModule
+from repro.core.modules.stem_module import SteMModule
+from repro.core.policies import RoutingPolicy, make_policy
+from repro.core.stem import SteM
+from repro.engine.results import ExecutionResult, Series
+from repro.query.binding import validate_bindings
+from repro.query.joingraph import JoinGraph
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
+
+
+class StemsEngine:
+    """Builds and runs the eddy + SteMs architecture for one query.
+
+    Args:
+        query: the query (a :class:`Query` or SQL text).
+        catalog: tables and access-method declarations.
+        policy: a routing policy instance or name (default ``"benefit"``).
+        cost_model: virtual-time cost model.
+        strict_constraints: validate every routing decision (slower).
+        stem_index_kind: index implementation inside SteMs.
+        stem_max_size: optional SteM size bound (sliding-window eviction).
+    """
+
+    def __init__(
+        self,
+        query: Query | str,
+        catalog: Catalog,
+        policy: RoutingPolicy | str = "benefit",
+        cost_model: CostModel | None = None,
+        strict_constraints: bool = False,
+        stem_index_kind: str = "hash",
+        stem_max_size: int | None = None,
+        preferences: Sequence = (),
+    ):
+        self.query = parse_query(query) if isinstance(query, str) else query
+        self.catalog = catalog
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.costs = cost_model or CostModel()
+        self.strict_constraints = strict_constraints
+        self.stem_index_kind = stem_index_kind
+        self.stem_max_size = stem_max_size
+
+        self.binding_plan = validate_bindings(self.query, catalog)
+        self.join_graph = JoinGraph.from_query(self.query)
+        self.simulator = Simulator()
+        self.eddy = Eddy(
+            self.simulator,
+            self.policy,
+            cost_model=self.costs,
+            strict_constraints=strict_constraints,
+        )
+        self.eddy.preferences = list(preferences)
+        self._build_modules()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_modules(self) -> None:
+        query, catalog = self.query, self.catalog
+        # SteMs: one per alias (a table referenced under several aliases gets
+        # one SteM per alias; see DESIGN.md for the self-join note).
+        for ref in query.tables:
+            stem = SteM(
+                table=ref.table,
+                aliases=(ref.alias,),
+                join_columns=query.join_columns_of(ref.alias),
+                index_kind=self.stem_index_kind,
+                max_size=self.stem_max_size,
+                name=f"stem:{ref.alias}",
+            )
+            module = SteMModule(
+                stem,
+                query.predicates,
+                build_cost=self.costs.stem_build_cost,
+                probe_cost=self.costs.stem_probe_cost,
+            )
+            self.eddy.register_stem(ref.alias, module)
+        # Selection modules.
+        for predicate in query.selection_predicates:
+            self.eddy.register_selection(
+                SelectionModule(predicate, cost=self.costs.selection_cost)
+            )
+        # Access modules: every access method usable for every alias.
+        for ref in query.tables:
+            table = catalog.table(ref.table)
+            for spec in self.binding_plan.methods_for(ref.alias):
+                if isinstance(spec, ScanSpec):
+                    self.eddy.register_scan_am(
+                        ref.alias, ScanAMModule(spec, table, ref.alias)
+                    )
+                elif isinstance(spec, IndexSpec):
+                    self.eddy.register_index_am(
+                        ref.alias,
+                        IndexAMModule(
+                            spec,
+                            table,
+                            ref.alias,
+                            query.predicates,
+                            handle_cost=self.costs.am_handle_cost,
+                        ),
+                    )
+        # Routing constraints.
+        checker = ConstraintChecker(
+            query=query,
+            join_graph=self.join_graph,
+            stems=self.eddy.stems,
+            selections=self.eddy.selections,
+            index_ams=self.eddy.index_ams,
+            scan_aliases=[
+                alias for alias in query.alias_order if self.eddy.has_scan_am(alias)
+            ],
+        )
+        self.eddy.set_resolver(checker)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> ExecutionResult:
+        """Execute the query and collect metrics."""
+        final_time = self.eddy.run(until=until)
+        return self._collect(final_time)
+
+    def _collect(self, final_time: float) -> ExecutionResult:
+        index_series: dict[str, Series] = {}
+        for ams in self.eddy.index_ams.values():
+            for am in ams:
+                index_series[am.name] = Series.from_points(am.lookup_series, name=am.name)
+        module_stats = {
+            name: dict(module.stats) for name, module in self.eddy.modules.items()
+        }
+        return ExecutionResult(
+            engine="stems",
+            query_name=self.query.name,
+            tuples=self.eddy.result_tuples,
+            output_series=Series.from_points(self.eddy.output_series(), name="results"),
+            completion_time=self.eddy.completion_time,
+            final_time=final_time,
+            index_probe_series=index_series,
+            partial_series=_partial_series(self.eddy),
+            module_stats=module_stats,
+            eddy_stats=dict(self.eddy.stats),
+        )
+
+
+def _partial_series(eddy: Eddy) -> dict[str, Series]:
+    """Convert the eddy's partial-result arrival times into cumulative series."""
+    series: dict[str, Series] = {}
+    for span, times in eddy.partial_series.items():
+        key = "+".join(sorted(span))
+        points = [(time, position + 1) for position, time in enumerate(sorted(times))]
+        series[key] = Series.from_points(points, name=key)
+    return series
+
+
+def run_stems(
+    query: Query | str,
+    catalog: Catalog,
+    policy: RoutingPolicy | str = "benefit",
+    cost_model: CostModel | None = None,
+    until: float | None = None,
+    strict_constraints: bool = False,
+    preferences: Sequence = (),
+) -> ExecutionResult:
+    """Convenience wrapper: build a :class:`StemsEngine` and run it."""
+    engine = StemsEngine(
+        query,
+        catalog,
+        policy=policy,
+        cost_model=cost_model,
+        strict_constraints=strict_constraints,
+        preferences=preferences,
+    )
+    return engine.run(until=until)

@@ -1,0 +1,141 @@
+"""Grace hash join and hybrid hash join.
+
+These are the non-pipelined, partition-based algorithms that paper
+section 3.1 shows can be *simulated* by routing tuples through SteMs with an
+"asynchronous" bounce-back discipline.  The standalone implementations here
+serve as references: the ablation bench compares their output (and the
+staging of their work) against the routing-based simulation.
+
+Disk spilling is modelled, not performed: partitions are ordinary in-memory
+lists, and the operator records how many composites were "spilled" (written
+to a partition other than the in-memory one) so tests can assert on the
+algorithms' structural behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.joins.base import BinaryJoin, Composite
+
+
+class GraceHashJoin(BinaryJoin):
+    """Grace hash join: partition both inputs, then join partition-wise.
+
+    Args:
+        partitions: number of hash partitions.
+    """
+
+    def __init__(self, predicates, left_aliases, right_aliases, partitions: int = 4):
+        super().__init__(predicates, left_aliases, right_aliases)
+        if not self.spec.has_keys:
+            raise QueryError("GraceHashJoin requires an equi-join predicate")
+        if partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        self.partitions = partitions
+        self.stats["spilled"] = 0
+
+    def _partition_of(self, key: tuple) -> int:
+        return hash(key) % self.partitions
+
+    def join(
+        self, left: Iterable[Composite], right: Iterable[Composite]
+    ) -> Iterator[Composite]:
+        left_parts: list[list[Composite]] = [[] for _ in range(self.partitions)]
+        right_parts: list[list[Composite]] = [[] for _ in range(self.partitions)]
+        # Phase 1: partition both inputs (everything "spills" in Grace).
+        for composite in left:
+            self.stats["left_rows"] += 1
+            self.stats["spilled"] += 1
+            left_parts[self._partition_of(self.spec.left_key(composite))].append(composite)
+        for composite in right:
+            self.stats["right_rows"] += 1
+            self.stats["spilled"] += 1
+            right_parts[self._partition_of(self.spec.right_key(composite))].append(composite)
+        # Phase 2: join each partition pair with an in-memory hash join.
+        for left_part, right_part in zip(left_parts, right_parts):
+            table: dict[tuple, list[Composite]] = {}
+            for composite in right_part:
+                table.setdefault(self.spec.right_key(composite), []).append(composite)
+            for composite in left_part:
+                for partner in table.get(self.spec.left_key(composite), ()):
+                    result = self._emit(composite, partner)
+                    if result is not None:
+                        yield result
+
+
+class HybridHashJoin(BinaryJoin):
+    """Hybrid hash join: partition 0 stays in memory and joins on the fly.
+
+    Build-side composites hashing to partition 0 go straight into an
+    in-memory hash table; probe-side composites hashing to partition 0 are
+    joined immediately, others are spilled and joined in a second phase —
+    exactly the structure of [DeWitt et al. 84] that paper section 3.1
+    simulates by bouncing back some build tuples ahead of others.
+
+    Args:
+        partitions: total number of partitions (including the in-memory one).
+        memory_fraction: unused placeholder kept for interface clarity; the
+            in-memory partition is always partition 0.
+    """
+
+    def __init__(
+        self,
+        predicates,
+        left_aliases,
+        right_aliases,
+        partitions: int = 4,
+    ):
+        super().__init__(predicates, left_aliases, right_aliases)
+        if not self.spec.has_keys:
+            raise QueryError("HybridHashJoin requires an equi-join predicate")
+        if partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        self.partitions = partitions
+        self.stats["spilled"] = 0
+        self.stats["immediate_results"] = 0
+
+    def _partition_of(self, key: tuple) -> int:
+        return hash(key) % self.partitions
+
+    def join(
+        self, left: Iterable[Composite], right: Iterable[Composite]
+    ) -> Iterator[Composite]:
+        # Build phase on the right input.
+        memory_table: dict[tuple, list[Composite]] = {}
+        right_spill: list[list[Composite]] = [[] for _ in range(self.partitions)]
+        for composite in right:
+            self.stats["right_rows"] += 1
+            key = self.spec.right_key(composite)
+            part = self._partition_of(key)
+            if part == 0:
+                memory_table.setdefault(key, []).append(composite)
+            else:
+                self.stats["spilled"] += 1
+                right_spill[part].append(composite)
+        # Probe phase on the left input: partition-0 probes answer immediately.
+        left_spill: list[list[Composite]] = [[] for _ in range(self.partitions)]
+        for composite in left:
+            self.stats["left_rows"] += 1
+            key = self.spec.left_key(composite)
+            part = self._partition_of(key)
+            if part == 0:
+                for partner in memory_table.get(key, ()):
+                    result = self._emit(composite, partner)
+                    if result is not None:
+                        self.stats["immediate_results"] += 1
+                        yield result
+            else:
+                self.stats["spilled"] += 1
+                left_spill[part].append(composite)
+        # Second phase: join the spilled partitions.
+        for part in range(1, self.partitions):
+            table: dict[tuple, list[Composite]] = {}
+            for composite in right_spill[part]:
+                table.setdefault(self.spec.right_key(composite), []).append(composite)
+            for composite in left_spill[part]:
+                for partner in table.get(self.spec.left_key(composite), ()):
+                    result = self._emit(composite, partner)
+                    if result is not None:
+                        yield result

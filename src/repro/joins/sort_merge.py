@@ -1,0 +1,63 @@
+"""Sort-merge join."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.joins.base import BinaryJoin, Composite
+
+
+class SortMergeJoin(BinaryJoin):
+    """Classic sort-merge join on the equi-join columns.
+
+    Both inputs are materialised, sorted on their join keys, and merged.
+    Duplicate keys on both sides produce the full cross product of the
+    matching groups, as required for correctness.
+    """
+
+    def __init__(self, predicates, left_aliases, right_aliases):
+        super().__init__(predicates, left_aliases, right_aliases)
+        if not self.spec.has_keys:
+            raise QueryError("SortMergeJoin requires an equi-join predicate")
+        self.stats["comparisons"] = 0
+
+    def join(
+        self, left: Iterable[Composite], right: Iterable[Composite]
+    ) -> Iterator[Composite]:
+        left_sorted = sorted(left, key=self.spec.left_key)
+        right_sorted = sorted(right, key=self.spec.right_key)
+        self.stats["left_rows"] = len(left_sorted)
+        self.stats["right_rows"] = len(right_sorted)
+
+        left_pos = 0
+        right_pos = 0
+        while left_pos < len(left_sorted) and right_pos < len(right_sorted):
+            left_key = self.spec.left_key(left_sorted[left_pos])
+            right_key = self.spec.right_key(right_sorted[right_pos])
+            self.stats["comparisons"] += 1
+            if left_key < right_key:
+                left_pos += 1
+            elif left_key > right_key:
+                right_pos += 1
+            else:
+                # Collect the groups of equal keys on both sides.
+                left_end = left_pos
+                while (
+                    left_end < len(left_sorted)
+                    and self.spec.left_key(left_sorted[left_end]) == left_key
+                ):
+                    left_end += 1
+                right_end = right_pos
+                while (
+                    right_end < len(right_sorted)
+                    and self.spec.right_key(right_sorted[right_end]) == right_key
+                ):
+                    right_end += 1
+                for left_composite in left_sorted[left_pos:left_end]:
+                    for right_composite in right_sorted[right_pos:right_end]:
+                        result = self._emit(left_composite, right_composite)
+                        if result is not None:
+                            yield result
+                left_pos = left_end
+                right_pos = right_end

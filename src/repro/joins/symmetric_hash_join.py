@@ -1,0 +1,92 @@
+"""The symmetric hash join (SHJ) — the pipelining join the paper starts from.
+
+The binary SHJ builds a hash table on *both* inputs; each arriving tuple is
+first inserted into its own side's table and then probed into the other
+side's table, so results stream out as soon as both matching tuples have
+arrived (paper section 2.3).  The push-based interface (:meth:`push`) is what
+the eddy-with-join-modules baseline wraps; :meth:`join` provides a pull-based
+interface that interleaves the two inputs for standalone use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Literal
+
+from repro.errors import QueryError
+from repro.joins.base import BinaryJoin, Composite
+
+
+class SymmetricHashJoin(BinaryJoin):
+    """Pipelining symmetric hash join over composite streams."""
+
+    def __init__(self, predicates, left_aliases, right_aliases):
+        super().__init__(predicates, left_aliases, right_aliases)
+        if not self.spec.has_keys:
+            raise QueryError("SymmetricHashJoin requires an equi-join predicate")
+        self._left_table: dict[tuple, list[Composite]] = {}
+        self._right_table: dict[tuple, list[Composite]] = {}
+
+    # -- push interface (used by the eddy join-module wrapper) ----------------
+
+    def push(self, side: Literal["left", "right"], composite: Composite) -> list[Composite]:
+        """Insert a composite arriving on one side; return new results.
+
+        The composite is built into its own hash table and probed into the
+        opposite table, exactly the build-then-probe discipline of the SHJ.
+        """
+        if side == "left":
+            self.stats["left_rows"] += 1
+            key = self.spec.left_key(composite)
+            self._left_table.setdefault(key, []).append(composite)
+            partners = self._right_table.get(key, ())
+            results = []
+            for partner in partners:
+                result = self._emit(composite, partner)
+                if result is not None:
+                    results.append(result)
+            return results
+        if side == "right":
+            self.stats["right_rows"] += 1
+            key = self.spec.right_key(composite)
+            self._right_table.setdefault(key, []).append(composite)
+            partners = self._left_table.get(key, ())
+            results = []
+            for partner in partners:
+                result = self._emit(partner, composite)
+                if result is not None:
+                    results.append(result)
+            return results
+        raise QueryError(f"unknown side {side!r}; expected 'left' or 'right'")
+
+    @property
+    def left_size(self) -> int:
+        """Number of composites built on the left side."""
+        return sum(len(bucket) for bucket in self._left_table.values())
+
+    @property
+    def right_size(self) -> int:
+        """Number of composites built on the right side."""
+        return sum(len(bucket) for bucket in self._right_table.values())
+
+    # -- pull interface --------------------------------------------------------
+
+    def join(
+        self, left: Iterable[Composite], right: Iterable[Composite]
+    ) -> Iterator[Composite]:
+        """Join by interleaving the two inputs one tuple at a time.
+
+        The interleaving mimics two sources delivering at the same rate; the
+        result set is identical to any other join algorithm, only the output
+        order differs.
+        """
+        left_iter = iter(left)
+        right_iter = iter(right)
+        sentinel = object()
+        for left_item, right_item in itertools.zip_longest(
+            left_iter, right_iter, fillvalue=sentinel
+        ):
+            if left_item is not sentinel:
+                yield from self.push("left", left_item)  # type: ignore[arg-type]
+            if right_item is not sentinel:
+                yield from self.push("right", right_item)  # type: ignore[arg-type]

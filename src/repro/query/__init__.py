@@ -1,0 +1,39 @@
+"""Query substrate: expressions, predicates, queries, parsing, join graphs."""
+
+from repro.query.binding import BindingPlan, validate_bindings
+from repro.query.expressions import ColumnRef, Expression, Literal, as_expression
+from repro.query.joingraph import JoinEdge, JoinGraph
+from repro.query.parser import parse_query
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    InList,
+    Predicate,
+    TruePredicate,
+    equi_join,
+    evaluable_predicates,
+    selection,
+)
+from repro.query.query import Query, TableRef
+
+__all__ = [
+    "BindingPlan",
+    "ColumnRef",
+    "Comparison",
+    "Conjunction",
+    "Expression",
+    "InList",
+    "JoinEdge",
+    "JoinGraph",
+    "Literal",
+    "Predicate",
+    "Query",
+    "TableRef",
+    "TruePredicate",
+    "as_expression",
+    "equi_join",
+    "evaluable_predicates",
+    "parse_query",
+    "selection",
+    "validate_bindings",
+]

@@ -1,0 +1,162 @@
+"""Bind-field validation: can the query be executed at all?
+
+Paper section 2.2, step 1: "Check that the query is valid, i.e., it can be
+executed given the bind-field constraints on the data sources (we use the
+algorithm from Nail)."
+
+A table reachable only through index access methods can be read only if all
+the bind columns of at least one of its indexes can be supplied — either by
+constants in selection predicates or by equi-join predicates from tables that
+are themselves reachable.  This module implements the fixpoint computation
+that decides reachability and, as a by-product, produces a feasible access
+order used by the static baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import BindingError
+from repro.query.expressions import ColumnRef, Literal
+from repro.query.predicates import Comparison
+from repro.query.query import Query
+from repro.storage.catalog import AccessMethodSpec, Catalog, IndexSpec, ScanSpec
+
+
+@dataclass(frozen=True)
+class BindingPlan:
+    """Result of bind-field validation.
+
+    Attributes:
+        access_order: one feasible order in which aliases can first be
+            accessed (used by the static baseline as a driver order).
+        usable_access_methods: for each alias, the access methods that can
+            possibly be used at some point during execution.
+        driver_aliases: aliases accessible without any bindings (i.e. having
+            a scan AM, or an index whose bind columns are bound by constants).
+    """
+
+    access_order: tuple[str, ...]
+    usable_access_methods: Mapping[str, tuple[AccessMethodSpec, ...]]
+    driver_aliases: frozenset[str]
+
+    def methods_for(self, alias: str) -> tuple[AccessMethodSpec, ...]:
+        """Access methods usable for an alias."""
+        return self.usable_access_methods[alias]
+
+
+def constant_bound_columns(query: Query, alias: str) -> frozenset[str]:
+    """Columns of ``alias`` bound to constants by equality selections."""
+    bound: set[str] = set()
+    for predicate in query.predicates_on(alias):
+        if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
+            continue
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            bound.add(left.column)
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            bound.add(right.column)
+    return frozenset(bound)
+
+
+def joinable_columns(query: Query, alias: str, accessible: frozenset[str]) -> frozenset[str]:
+    """Columns of ``alias`` bindable via equi-joins with accessible aliases."""
+    bound: set[str] = set()
+    for predicate in query.equi_join_predicates:
+        own = predicate.column_for(alias)
+        if own is None:
+            continue
+        other = predicate.other_side(alias)
+        if isinstance(other, ColumnRef) and other.alias in accessible:
+            bound.add(own.column)
+    return frozenset(bound)
+
+
+def _index_usable(
+    spec: IndexSpec, bound_columns: frozenset[str]
+) -> bool:
+    """True if all of the index's bind columns are bound."""
+    return frozenset(spec.bind_columns) <= bound_columns
+
+
+def validate_bindings(query: Query, catalog: Catalog) -> BindingPlan:
+    """Check that every alias of the query is reachable; return a plan.
+
+    Raises:
+        BindingError: if some alias can never be accessed.
+    """
+    alias_tables = {ref.alias: ref.table for ref in query.tables}
+    for alias, table in alias_tables.items():
+        if not catalog.access_methods(table):
+            raise BindingError(
+                f"table {table!r} (alias {alias!r}) has no access methods"
+            )
+
+    accessible: set[str] = set()
+    order: list[str] = []
+    usable: dict[str, list[AccessMethodSpec]] = {alias: [] for alias in alias_tables}
+    drivers: set[str] = set()
+
+    def try_alias(alias: str) -> bool:
+        """Mark the alias accessible if some AM is usable now; return success."""
+        table = alias_tables[alias]
+        bound = constant_bound_columns(query, alias) | joinable_columns(
+            query, alias, frozenset(accessible)
+        )
+        found = False
+        for spec in catalog.access_methods(table):
+            if isinstance(spec, ScanSpec):
+                found = True
+                if spec not in usable[alias]:
+                    usable[alias].append(spec)
+            elif isinstance(spec, IndexSpec) and _index_usable(spec, bound):
+                found = True
+                if spec not in usable[alias]:
+                    usable[alias].append(spec)
+        return found
+
+    # Fixpoint: repeatedly add aliases that have become accessible.
+    changed = True
+    while changed:
+        changed = False
+        for alias in query.alias_order:
+            if alias in accessible:
+                # Re-check: more join columns may have become bindable,
+                # enabling additional (competitive) access methods.
+                try_alias(alias)
+                continue
+            if try_alias(alias):
+                accessible.add(alias)
+                order.append(alias)
+                if not joinable_columns(query, alias, frozenset(accessible - {alias})):
+                    # Accessible without help from other aliases.
+                    has_scan = any(isinstance(s, ScanSpec) for s in usable[alias])
+                    bound_by_constants = constant_bound_columns(query, alias)
+                    has_const_index = any(
+                        isinstance(s, IndexSpec)
+                        and _index_usable(s, bound_by_constants)
+                        for s in usable[alias]
+                    )
+                    if has_scan or has_const_index:
+                        drivers.add(alias)
+                changed = True
+
+    unreachable = set(alias_tables) - accessible
+    if unreachable:
+        raise BindingError(
+            "query cannot be executed: no usable access method for "
+            f"{sorted(unreachable)} given the bind-field constraints"
+        )
+    if not drivers:
+        raise BindingError(
+            "query cannot be executed: every table requires bindings from "
+            "another table (no driver source)"
+        )
+    return BindingPlan(
+        access_order=tuple(order),
+        usable_access_methods={
+            alias: tuple(specs) for alias, specs in usable.items()
+        },
+        driver_aliases=frozenset(drivers),
+    )

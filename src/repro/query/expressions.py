@@ -1,0 +1,101 @@
+"""Expressions over composite tuples: column references and literals.
+
+The query layer works with *qualified* column references (``alias.column``),
+since a query may mention the same base table twice under different aliases.
+Expressions are evaluated against ``{alias: Row}`` mappings, which is exactly
+the component structure of the composite tuples flowing through the eddy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import QueryError
+from repro.storage.row import Row
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def aliases(self) -> frozenset[str]:
+        """The table aliases this expression refers to."""
+        raise NotImplementedError
+
+    def evaluate(self, components: Mapping[str, Row]) -> Any:
+        """Evaluate against a mapping of alias -> Row."""
+        raise NotImplementedError
+
+    def can_evaluate(self, available_aliases: frozenset[str] | set[str]) -> bool:
+        """True if all referenced aliases are available."""
+        return self.aliases() <= frozenset(available_aliases)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to ``alias.column``."""
+
+    alias: str
+    column: str
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset((self.alias,))
+
+    def evaluate(self, components: Mapping[str, Row]) -> Any:
+        try:
+            row = components[self.alias]
+        except KeyError:
+            raise QueryError(
+                f"cannot evaluate {self}: alias {self.alias!r} not present"
+            ) from None
+        return row[self.column]
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+    @classmethod
+    def parse(cls, text: str, default_alias: str | None = None) -> "ColumnRef":
+        """Parse ``alias.column`` or bare ``column`` (with a default alias)."""
+        text = text.strip()
+        if "." in text:
+            alias, _, column = text.partition(".")
+            return cls(alias.strip(), column.strip())
+        if default_alias is None:
+            raise QueryError(
+                f"unqualified column {text!r} requires a default alias"
+            )
+        return cls(default_alias, text)
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, components: Mapping[str, Row]) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+def as_expression(value: Any, default_alias: str | None = None) -> Expression:
+    """Coerce a Python value or ``"alias.column"`` string to an Expression.
+
+    Strings containing a dot are treated as column references; everything
+    else becomes a literal.  Use :class:`Literal` explicitly for string
+    constants that happen to contain dots.
+    """
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, str) and ("." in value or default_alias is not None):
+        candidate = value.strip()
+        if candidate and not candidate[0].isdigit() and " " not in candidate:
+            return ColumnRef.parse(candidate, default_alias)
+    return Literal(value)

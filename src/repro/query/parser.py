@@ -1,0 +1,335 @@
+"""A small SQL parser for select-project-join queries.
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM from_list [WHERE condition]
+    select_list:= '*' | column (',' column)*
+    from_list  := table_ref (',' table_ref)*
+    table_ref  := identifier [[AS] identifier]
+    condition  := comparison (AND comparison)*
+    comparison := operand op operand | column IN '(' literal (',' literal)* ')'
+    op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    operand    := column | literal
+    column     := identifier '.' identifier | identifier
+    literal    := integer | float | quoted string | TRUE | FALSE
+
+This covers every query in the paper and in the benchmark suite.  OR,
+subqueries, grouping, and expressions beyond simple comparisons are
+intentionally out of scope (the paper assumes select-project-join blocks).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.query.expressions import ColumnRef, Expression, Literal
+from repro.query.predicates import Comparison, InList, Predicate
+from repro.query.query import Query, TableRef
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),;*])
+  | (?P<dot>\.)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "as", "in", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    """A peekable stream of tokens."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> _Token:
+        token = self.next()
+        if token.kind != "ident" or token.lower != keyword:
+            raise ParseError(
+                f"expected {keyword.upper()!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise ParseError(
+                f"expected {expected!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "ident" and token.lower == keyword
+
+    def at_end(self) -> bool:
+        token = self.peek()
+        return token is None or (token.kind == "punct" and token.text == ";")
+
+
+def parse_query(text: str, name: str | None = None) -> Query:
+    """Parse SQL text into a :class:`Query`.
+
+    Args:
+        text: the SQL query text.
+        name: optional name for the query; defaults to a trimmed form of the text.
+    """
+    stream = _TokenStream(_tokenize(text))
+    stream.expect_keyword("select")
+    projections = _parse_select_list(stream)
+    stream.expect_keyword("from")
+    tables = _parse_from_list(stream)
+    predicates: list[Predicate] = []
+    if stream.at_keyword("where"):
+        stream.next()
+        predicates = _parse_condition(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing token {token.text!r}", token.position)
+    default_alias = tables[0].alias if len(tables) == 1 else None
+    projections = [
+        _qualify(projection, default_alias) for projection in projections
+    ]
+    return Query(
+        tables=tables,
+        predicates=[_qualify_predicate(p, default_alias) for p in predicates],
+        projections=projections,
+        name=name or " ".join(text.split())[:60],
+    )
+
+
+# -- clause parsers -----------------------------------------------------------
+
+def _parse_select_list(stream: _TokenStream) -> list[ColumnRef | str]:
+    token = stream.peek()
+    if token is not None and token.kind == "punct" and token.text == "*":
+        stream.next()
+        return []
+    projections: list[ColumnRef | str] = []
+    while True:
+        projections.append(_parse_column(stream))
+        token = stream.peek()
+        if token is not None and token.kind == "punct" and token.text == ",":
+            stream.next()
+            continue
+        return projections
+
+
+def _parse_from_list(stream: _TokenStream) -> list[TableRef]:
+    tables: list[TableRef] = []
+    while True:
+        table_token = stream.next()
+        if table_token.kind != "ident" or table_token.lower in _KEYWORDS:
+            raise ParseError(
+                f"expected table name, found {table_token.text!r}",
+                table_token.position,
+            )
+        alias = table_token.text
+        token = stream.peek()
+        if token is not None and token.kind == "ident" and token.lower == "as":
+            stream.next()
+            alias_token = stream.next()
+            if alias_token.kind != "ident":
+                raise ParseError(
+                    f"expected alias, found {alias_token.text!r}",
+                    alias_token.position,
+                )
+            alias = alias_token.text
+        elif (
+            token is not None
+            and token.kind == "ident"
+            and token.lower not in _KEYWORDS
+        ):
+            stream.next()
+            alias = token.text
+        tables.append(TableRef(table=table_token.text, alias=alias))
+        token = stream.peek()
+        if token is not None and token.kind == "punct" and token.text == ",":
+            stream.next()
+            continue
+        return tables
+
+
+def _parse_condition(stream: _TokenStream) -> list[Predicate]:
+    predicates = [_parse_comparison(stream)]
+    while stream.at_keyword("and"):
+        stream.next()
+        predicates.append(_parse_comparison(stream))
+    return predicates
+
+
+def _parse_comparison(stream: _TokenStream) -> Predicate:
+    left = _parse_operand(stream)
+    if stream.at_keyword("in"):
+        stream.next()
+        if not isinstance(left, ColumnRef | _UnqualifiedColumn):
+            raise ParseError("IN requires a column on the left-hand side")
+        stream.expect("punct", "(")
+        values = [_parse_literal(stream).value]
+        while True:
+            token = stream.peek()
+            if token is not None and token.kind == "punct" and token.text == ",":
+                stream.next()
+                values.append(_parse_literal(stream).value)
+                continue
+            break
+        stream.expect("punct", ")")
+        return InList(_as_column_ref(left), values)
+    op_token = stream.next()
+    if op_token.kind != "op":
+        raise ParseError(
+            f"expected comparison operator, found {op_token.text!r}",
+            op_token.position,
+        )
+    right = _parse_operand(stream)
+    return Comparison(_operand_expr(left), op_token.text, _operand_expr(right))
+
+
+@dataclass(frozen=True)
+class _UnqualifiedColumn:
+    """A bare column name whose alias is resolved after parsing."""
+
+    column: str
+
+
+def _parse_operand(stream: _TokenStream):
+    token = stream.peek()
+    if token is None:
+        raise ParseError("unexpected end of query")
+    if token.kind in ("int", "float", "string") or (
+        token.kind == "ident" and token.lower in ("true", "false")
+    ):
+        return _parse_literal(stream)
+    return _parse_column(stream)
+
+
+def _parse_literal(stream: _TokenStream) -> Literal:
+    token = stream.next()
+    if token.kind == "int":
+        return Literal(int(token.text))
+    if token.kind == "float":
+        return Literal(float(token.text))
+    if token.kind == "string":
+        return Literal(token.text[1:-1].replace("''", "'"))
+    if token.kind == "ident" and token.lower in ("true", "false"):
+        return Literal(token.lower == "true")
+    raise ParseError(f"expected literal, found {token.text!r}", token.position)
+
+
+def _parse_column(stream: _TokenStream) -> ColumnRef | _UnqualifiedColumn:
+    first = stream.next()
+    if first.kind != "ident" or first.lower in _KEYWORDS:
+        raise ParseError(f"expected column, found {first.text!r}", first.position)
+    token = stream.peek()
+    if token is not None and token.kind == "dot":
+        stream.next()
+        second = stream.next()
+        if second.kind != "ident":
+            raise ParseError(
+                f"expected column after '.', found {second.text!r}", second.position
+            )
+        return ColumnRef(first.text, second.text)
+    return _UnqualifiedColumn(first.text)
+
+
+def _operand_expr(operand) -> Expression:
+    if isinstance(operand, _UnqualifiedColumn):
+        # Alias resolution happens in _qualify_predicate; keep a placeholder.
+        return ColumnRef("?", operand.column)
+    return operand
+
+
+def _as_column_ref(operand) -> ColumnRef:
+    if isinstance(operand, _UnqualifiedColumn):
+        return ColumnRef("?", operand.column)
+    return operand
+
+
+def _qualify(projection, default_alias: str | None):
+    if isinstance(projection, _UnqualifiedColumn):
+        if default_alias is None:
+            raise ParseError(
+                f"column {projection.column!r} must be qualified in a multi-table query"
+            )
+        return ColumnRef(default_alias, projection.column)
+    return projection
+
+
+def _qualify_predicate(predicate: Predicate, default_alias: str | None) -> Predicate:
+    """Resolve '?' placeholder aliases produced for unqualified columns."""
+
+    def fix(expression: Expression) -> Expression:
+        if isinstance(expression, ColumnRef) and expression.alias == "?":
+            if default_alias is None:
+                raise ParseError(
+                    f"column {expression.column!r} must be qualified "
+                    "in a multi-table query"
+                )
+            return ColumnRef(default_alias, expression.column)
+        return expression
+
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            fix(predicate.left), predicate.op, fix(predicate.right),
+            name=predicate.name, priority=predicate.priority,
+        )
+    if isinstance(predicate, InList):
+        column = fix(predicate.column)
+        assert isinstance(column, ColumnRef)
+        return InList(column, predicate.values, name=predicate.name,
+                      priority=predicate.priority)
+    return predicate

@@ -1,0 +1,223 @@
+"""Query specifications: select-project-join queries.
+
+A :class:`Query` is the declarative object the engines execute.  It holds
+the FROM-clause table references (with aliases), the WHERE-clause predicates,
+and the SELECT-list projections.  Group-by / aggregation are out of scope, as
+in the paper ("implemented above the eddy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import QueryError, UnknownTableError
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import Comparison, Predicate
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: a base table under an alias.
+
+    Attributes:
+        table: name of the base table in the catalog.
+        alias: the alias used in the query (defaults to the table name).
+    """
+
+    table: str
+    alias: str
+
+    @classmethod
+    def of(cls, table: str, alias: str | None = None) -> "TableRef":
+        return cls(table=table, alias=alias or table)
+
+    def __str__(self) -> str:
+        if self.alias == self.table:
+            return self.table
+        return f"{self.table} AS {self.alias}"
+
+
+class Query:
+    """A select-project-join query.
+
+    Args:
+        tables: the FROM-clause entries.  Aliases must be unique.
+        predicates: WHERE-clause predicates (implicitly conjoined).
+        projections: SELECT-list column references; empty means ``SELECT *``.
+        name: optional human-readable query name (used in reports).
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[TableRef | str],
+        predicates: Sequence[Predicate] = (),
+        projections: Sequence[ColumnRef | str] = (),
+        name: str = "query",
+    ):
+        refs: list[TableRef] = []
+        for entry in tables:
+            if isinstance(entry, TableRef):
+                refs.append(entry)
+            else:
+                refs.append(TableRef.of(entry))
+        aliases = [ref.alias for ref in refs]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate aliases in FROM clause: {aliases}")
+        if not refs:
+            raise QueryError("a query needs at least one table")
+        self.tables: tuple[TableRef, ...] = tuple(refs)
+        self.predicates: tuple[Predicate, ...] = tuple(predicates)
+        self.projections: tuple[ColumnRef, ...] = tuple(
+            p if isinstance(p, ColumnRef) else ColumnRef.parse(p)
+            for p in projections
+        )
+        self.name = name
+        self._validate_references()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate_references(self) -> None:
+        known = self.aliases
+        for predicate in self.predicates:
+            unknown = predicate.aliases() - known
+            if unknown:
+                raise UnknownTableError(sorted(unknown)[0], tuple(sorted(known)))
+        for projection in self.projections:
+            if projection.alias not in known:
+                raise UnknownTableError(projection.alias, tuple(sorted(known)))
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """All aliases in the FROM clause."""
+        return frozenset(ref.alias for ref in self.tables)
+
+    @property
+    def alias_order(self) -> tuple[str, ...]:
+        """Aliases in FROM-clause order (used for deterministic iteration)."""
+        return tuple(ref.alias for ref in self.tables)
+
+    def table_of(self, alias: str) -> str:
+        """The base-table name behind an alias."""
+        for ref in self.tables:
+            if ref.alias == alias:
+                return ref.table
+        raise UnknownTableError(alias, tuple(sorted(self.aliases)))
+
+    def aliases_of_table(self, table: str) -> tuple[str, ...]:
+        """All aliases referring to the given base table (self-joins)."""
+        return tuple(ref.alias for ref in self.tables if ref.table == table)
+
+    @property
+    def is_self_join(self) -> bool:
+        """True if some base table appears more than once in the FROM clause."""
+        tables = [ref.table for ref in self.tables]
+        return len(set(tables)) != len(tables)
+
+    # -- predicate classification ---------------------------------------------
+
+    @property
+    def selection_predicates(self) -> tuple[Predicate, ...]:
+        """Predicates referencing exactly one alias."""
+        return tuple(p for p in self.predicates if p.is_selection)
+
+    @property
+    def join_predicates(self) -> tuple[Predicate, ...]:
+        """Predicates referencing two or more aliases."""
+        return tuple(p for p in self.predicates if not p.is_selection)
+
+    @property
+    def equi_join_predicates(self) -> tuple[Comparison, ...]:
+        """Equi-join predicates (column = column across two aliases)."""
+        return tuple(
+            p for p in self.predicates
+            if isinstance(p, Comparison) and p.is_equi_join
+        )
+
+    def predicates_on(self, alias: str) -> tuple[Predicate, ...]:
+        """Selection predicates referencing only the given alias."""
+        return tuple(
+            p for p in self.selection_predicates if p.aliases() == {alias}
+        )
+
+    def predicates_between(
+        self, left: Iterable[str] | str, right: Iterable[str] | str
+    ) -> tuple[Predicate, ...]:
+        """Join predicates whose aliases straddle the two alias sets.
+
+        A predicate qualifies when it references at least one alias from each
+        side and no alias outside the union — i.e. it becomes evaluable
+        exactly when the two sides are concatenated.
+        """
+        left_set = frozenset([left]) if isinstance(left, str) else frozenset(left)
+        right_set = frozenset([right]) if isinstance(right, str) else frozenset(right)
+        union = left_set | right_set
+        chosen = []
+        for predicate in self.join_predicates:
+            referenced = predicate.aliases()
+            if (
+                referenced & left_set
+                and referenced & right_set
+                and referenced <= union
+            ):
+                chosen.append(predicate)
+        return tuple(chosen)
+
+    def join_columns_of(self, alias: str) -> tuple[str, ...]:
+        """Columns of ``alias`` involved in equi-join predicates.
+
+        These are the columns the SteM on the alias's table indexes.
+        """
+        columns: list[str] = []
+        for predicate in self.equi_join_predicates:
+            ref = predicate.column_for(alias)
+            if ref is not None and ref.column not in columns:
+                columns.append(ref.column)
+        return tuple(columns)
+
+    def join_partners(self, alias: str) -> frozenset[str]:
+        """Aliases connected to ``alias`` by at least one join predicate."""
+        partners: set[str] = set()
+        for predicate in self.join_predicates:
+            referenced = predicate.aliases()
+            if alias in referenced:
+                partners |= referenced - {alias}
+        return frozenset(partners)
+
+    # -- projections ----------------------------------------------------------
+
+    @property
+    def is_select_star(self) -> bool:
+        """True if the query projects all columns."""
+        return not self.projections
+
+    def output_columns(
+        self, schemas: Mapping[str, Sequence[str]]
+    ) -> tuple[tuple[str, str], ...]:
+        """The output columns as ``(alias, column)`` pairs.
+
+        Args:
+            schemas: mapping from alias to the column names of its table.
+        """
+        if self.projections:
+            return tuple((p.alias, p.column) for p in self.projections)
+        result: list[tuple[str, str]] = []
+        for ref in self.tables:
+            for column in schemas[ref.alias]:
+                result.append((ref.alias, column))
+        return tuple(result)
+
+    def __repr__(self) -> str:
+        froms = ", ".join(str(ref) for ref in self.tables)
+        wheres = " AND ".join(str(p) for p in self.predicates)
+        select = (
+            ", ".join(str(p) for p in self.projections)
+            if self.projections
+            else "*"
+        )
+        text = f"SELECT {select} FROM {froms}"
+        if wheres:
+            text += f" WHERE {wheres}"
+        return f"Query({text})"

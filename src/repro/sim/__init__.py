@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate: clock, events, latency models, queues."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.latency import (
+    AvailabilityModel,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    StallWindow,
+    UniformLatency,
+)
+from repro.sim.queues import BoundedQueue
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import Counter, TraceLog, TraceRecord
+
+__all__ = [
+    "AvailabilityModel",
+    "BoundedQueue",
+    "ConstantLatency",
+    "Counter",
+    "Event",
+    "EventQueue",
+    "ExponentialLatency",
+    "LatencyModel",
+    "Simulator",
+    "StallWindow",
+    "TraceLog",
+    "TraceRecord",
+    "UniformLatency",
+    "VirtualClock",
+]

@@ -1,0 +1,46 @@
+"""Virtual clocks for discrete-event simulation.
+
+All engines in this library execute against *virtual time*: the unit is the
+"virtual second", and the paper's wall-clock measurements (scan rates, index
+lookup sleeps) become configuration of the simulation.  A virtual clock only
+moves forward when the simulator advances it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time, in virtual seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot move the clock backwards (now={self._now}, requested={time})"
+            )
+        self._now = max(self._now, float(time))
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` virtual seconds."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance by a negative delta ({delta})")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"

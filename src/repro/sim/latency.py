@@ -1,0 +1,128 @@
+"""Latency and availability models for simulated data sources.
+
+The paper's testbed implements remote index lookups as "sleeps of identical
+duration" and motivates adaptivity with sources whose "speeds and
+availability are hard to estimate ... and could vary during query
+execution".  These models capture both: deterministic or stochastic per-
+operation latencies, plus stall windows during which a source is unavailable.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class LatencyModel(ABC):
+    """Produces a (possibly random) latency for each operation."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """The latency of the next operation, in virtual seconds."""
+
+    @property
+    def mean(self) -> float:
+        """The expected latency (used by cost-aware routing policies)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ConstantLatency(LatencyModel):
+    """Every operation takes exactly ``value`` virtual seconds."""
+
+    value: float = 1.0
+
+    def sample(self) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Latencies drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float, high: float, seed: int = 0):
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class ExponentialLatency(LatencyModel):
+    """Latencies drawn from an exponential distribution (bursty sources)."""
+
+    def __init__(self, mean: float, seed: int = 0):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = mean
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return self._rng.expovariate(1.0 / self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """A half-open interval of virtual time during which a source is stalled."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def contains(self, time: float) -> bool:
+        """True if ``time`` falls inside the stall window."""
+        return self.start <= time < self.end
+
+
+class AvailabilityModel:
+    """Stall behaviour of a source: a set of windows during which it is down.
+
+    Used by access modules to delay deliveries: an operation that would
+    complete inside a stall window is pushed to the window's end.
+    """
+
+    def __init__(self, stalls: Sequence[StallWindow] = ()):
+        self.stalls = tuple(sorted(stalls, key=lambda window: window.start))
+
+    @classmethod
+    def always_available(cls) -> "AvailabilityModel":
+        return cls(())
+
+    @classmethod
+    def single_stall(cls, start: float, duration: float) -> "AvailabilityModel":
+        return cls((StallWindow(start, duration),))
+
+    def next_available(self, time: float) -> float:
+        """Earliest time >= ``time`` at which the source is available."""
+        adjusted = time
+        for window in self.stalls:
+            if window.contains(adjusted):
+                adjusted = window.end
+        return adjusted
+
+    def delay_until_available(self, time: float) -> float:
+        """Extra delay imposed by stalls for an operation finishing at ``time``."""
+        return self.next_available(time) - time
+
+    def is_stalled(self, time: float) -> bool:
+        """True if the source is stalled at ``time``."""
+        return any(window.contains(time) for window in self.stalls)

@@ -1,0 +1,85 @@
+"""Bounded FIFO queues between the eddy and its modules.
+
+The paper's Figure 7 discussion hinges on queue behaviour: "all queues
+between the eddy and the modules are finite in size", which is what produces
+head-of-line blocking inside an encapsulated index join.  These queues model
+that: a module consumes items from its input queue at its own service rate,
+and producers can observe occupancy/backpressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+class BoundedQueue(Generic[ItemT]):
+    """A FIFO queue with a finite capacity.
+
+    Attributes:
+        capacity: maximum number of items the queue holds; ``None`` means
+            unbounded (used for the eddy's own routing queue).
+    """
+
+    def __init__(self, capacity: int | None = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[ItemT] = deque()
+        #: Cumulative number of items ever enqueued (for statistics).
+        self.total_enqueued = 0
+        #: Number of enqueue attempts rejected because the queue was full.
+        self.rejected = 0
+        #: High-water mark of occupancy.
+        self.max_occupancy = 0
+
+    @property
+    def is_full(self) -> bool:
+        """True if no more items can be accepted."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the queue holds no items."""
+        return not self._items
+
+    def offer(self, item: ItemT) -> bool:
+        """Enqueue ``item`` if there is room; return whether it was accepted."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.total_enqueued += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+        return True
+
+    def push(self, item: ItemT) -> None:
+        """Enqueue ``item`` unconditionally (used for unbounded queues)."""
+        self._items.append(item)
+        self.total_enqueued += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def pop(self) -> ItemT:
+        """Dequeue the oldest item.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        return self._items.popleft()
+
+    def peek(self) -> ItemT | None:
+        """The oldest item without removing it, or None if empty."""
+        return self._items[0] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ItemT]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return f"BoundedQueue({self.name or 'queue'}, {len(self._items)}/{cap})"

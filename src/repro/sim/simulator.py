@@ -1,0 +1,132 @@
+"""The discrete-event simulator that drives all query execution.
+
+The simulator owns a virtual clock and an event queue.  Engine code
+schedules callbacks (``schedule``/``schedule_at``) and the simulator runs
+them in time order, advancing the clock.  Execution is single-threaded and
+fully deterministic; "asynchrony" in the paper's sense (concurrent module
+threads, outstanding index probes) is modelled by interleaving events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.tracing import TraceLog
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        start_time: initial virtual time.
+        trace: optional :class:`TraceLog` capturing every executed event.
+        max_events: safety valve — raise after this many events (guards
+            against accidental infinite routing loops in buggy policies).
+    """
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: TraceLog | None = None,
+        max_events: int = 50_000_000,
+    ):
+        self.clock = VirtualClock(start_time)
+        self._queue = EventQueue()
+        self.trace = trace
+        self.max_events = max_events
+        self.executed_events = 0
+        self._running = False
+
+    # -- scheduling -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self._queue.push(self.now + delay, callback, label)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time (>= now)."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self.now}, requested={time})"
+            )
+        return self._queue.push(max(time, self.now), callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event; return False if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self.executed_events += 1
+        if self.executed_events > self.max_events:
+            raise SimulationError(
+                f"exceeded {self.max_events} events; "
+                "likely an infinite routing loop"
+            )
+        if self.trace is not None:
+            self.trace.record(self.now, "event", event.label)
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains (or virtual time ``until``).
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("the simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` virtual seconds from the current time."""
+        return self.run(until=self.now + duration)
+
+    def drain(self, callbacks: Iterable[Callable[[], None]] = ()) -> float:
+        """Schedule the given callbacks now and run the queue to exhaustion."""
+        for callback in callbacks:
+            self.schedule(0.0, callback)
+        return self.run()
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.3f}, pending={self.pending_events}, "
+            f"executed={self.executed_events})"
+        )

@@ -1,0 +1,261 @@
+"""The catalog: tables plus the access methods available on them.
+
+The paper's query instantiation (section 2.2) creates "an AM on each access
+method that can possibly be used in the query".  The catalog is where those
+access methods are declared.  Access-method *specifications* are passive
+descriptions (a scan at some delivery rate; an index on some bind columns
+with some lookup latency); the executable access *modules* are built from
+these specs by ``repro.core.modules.access``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import CatalogError, DuplicateTableError, UnknownTableError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class AccessMethodSpec:
+    """Base class for access-method specifications.
+
+    Attributes:
+        name: unique name of the access method (e.g. ``"R_scan"``).
+        table: name of the table the access method reads.
+    """
+
+    name: str
+    table: str
+
+    @property
+    def is_scan(self) -> bool:
+        """True for scan access methods."""
+        raise NotImplementedError
+
+    @property
+    def bind_columns(self) -> tuple[str, ...]:
+        """Columns that must be bound to use this access method (empty for scans)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanSpec(AccessMethodSpec):
+    """A scan access method: delivers every row of the table.
+
+    Attributes:
+        rate: rows delivered per virtual second.
+        initial_delay: virtual seconds before the first row is delivered.
+        stall_at: optional virtual time at which the source stalls.
+        stall_duration: how long the stall lasts (virtual seconds).
+        cost_per_row: CPU cost charged per delivered row (virtual seconds).
+    """
+
+    rate: float = 100.0
+    initial_delay: float = 0.0
+    stall_at: float | None = None
+    stall_duration: float = 0.0
+    cost_per_row: float = 0.0
+
+    @property
+    def is_scan(self) -> bool:
+        return True
+
+    @property
+    def bind_columns(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IndexSpec(AccessMethodSpec):
+    """An index access method: answers lookups on its bind columns.
+
+    The paper models remote (Web) indexes whose lookups are asynchronous and
+    take a fixed amount of time ("sleeps of identical duration").
+
+    Attributes:
+        columns: the bind (key) columns of the index.
+        latency: virtual seconds per index lookup.
+        concurrency: number of lookups the index can serve concurrently
+            (1 reproduces the paper's sequential remote index).
+        matches_per_probe: optional cap on matches returned per lookup.
+        cache_results: unused by the AM itself (SteMs do the caching), kept
+            for describing sources whose service already caches.
+    """
+
+    columns: tuple[str, ...] = ()
+    latency: float = 1.0
+    concurrency: int = 1
+    matches_per_probe: int | None = None
+    cache_results: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise CatalogError(f"index AM {self.name!r} must have bind columns")
+        if self.concurrency < 1:
+            raise CatalogError(f"index AM {self.name!r} concurrency must be >= 1")
+
+    @property
+    def is_scan(self) -> bool:
+        return False
+
+    @property
+    def bind_columns(self) -> tuple[str, ...]:
+        return tuple(self.columns)
+
+
+class Catalog:
+    """A collection of tables and the access methods declared on them."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._access_methods: dict[str, list[AccessMethodSpec]] = {}
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]] = (),
+    ) -> Table:
+        """Create and register a new table."""
+        if name in self._tables:
+            raise DuplicateTableError(f"table {name!r} already exists")
+        table = Table(name, schema, rows)
+        self._tables[name] = table
+        self._access_methods[name] = []
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        """Register an existing Table object."""
+        if table.name in self._tables:
+            raise DuplicateTableError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        self._access_methods[table.name] = []
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its access methods."""
+        self._require(name)
+        del self._tables[name]
+        del self._access_methods[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        self._require(name)
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """True if a table with this name exists."""
+        return name in self._tables
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """All tables, keyed by name."""
+        return dict(self._tables)
+
+    def _require(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(name, tuple(self._tables))
+
+    # -- access methods -------------------------------------------------------
+
+    def add_scan(
+        self,
+        table: str,
+        name: str | None = None,
+        rate: float = 100.0,
+        initial_delay: float = 0.0,
+        stall_at: float | None = None,
+        stall_duration: float = 0.0,
+        cost_per_row: float = 0.0,
+    ) -> ScanSpec:
+        """Declare a scan access method on a table."""
+        self._require(table)
+        spec = ScanSpec(
+            name=name or self._default_am_name(table, "scan"),
+            table=table,
+            rate=rate,
+            initial_delay=initial_delay,
+            stall_at=stall_at,
+            stall_duration=stall_duration,
+            cost_per_row=cost_per_row,
+        )
+        self._register(spec)
+        return spec
+
+    def add_index(
+        self,
+        table: str,
+        columns: Sequence[str],
+        name: str | None = None,
+        latency: float = 1.0,
+        concurrency: int = 1,
+        matches_per_probe: int | None = None,
+    ) -> IndexSpec:
+        """Declare an index access method on a table."""
+        self._require(table)
+        table_obj = self._tables[table]
+        for column in columns:
+            if column not in table_obj.schema:
+                raise CatalogError(
+                    f"cannot declare index on unknown column {column!r} "
+                    f"of table {table!r}"
+                )
+        spec = IndexSpec(
+            name=name or self._default_am_name(table, "idx_" + "_".join(columns)),
+            table=table,
+            columns=tuple(columns),
+            latency=latency,
+            concurrency=concurrency,
+            matches_per_probe=matches_per_probe,
+        )
+        # Make sure the underlying table can answer the lookups efficiently.
+        table_obj.create_index(columns, kind="hash")
+        self._register(spec)
+        return spec
+
+    def _register(self, spec: AccessMethodSpec) -> None:
+        existing = self._access_methods[spec.table]
+        if any(s.name == spec.name for s in existing):
+            raise CatalogError(
+                f"access method {spec.name!r} already declared on {spec.table!r}"
+            )
+        existing.append(spec)
+
+    def _default_am_name(self, table: str, suffix: str) -> str:
+        base = f"{table}_{suffix}"
+        existing = {s.name for s in self._access_methods[table]}
+        if base not in existing:
+            return base
+        counter = 2
+        while f"{base}{counter}" in existing:
+            counter += 1
+        return f"{base}{counter}"
+
+    def access_methods(self, table: str) -> list[AccessMethodSpec]:
+        """All access methods declared on a table."""
+        self._require(table)
+        return list(self._access_methods[table])
+
+    def scans(self, table: str) -> list[ScanSpec]:
+        """The scan access methods declared on a table."""
+        return [s for s in self.access_methods(table) if isinstance(s, ScanSpec)]
+
+    def indexes(self, table: str) -> list[IndexSpec]:
+        """The index access methods declared on a table."""
+        return [s for s in self.access_methods(table) if isinstance(s, IndexSpec)]
+
+    def has_scan(self, table: str) -> bool:
+        """True if the table has at least one scan access method."""
+        return bool(self.scans(table))
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, table in self._tables.items():
+            am_count = len(self._access_methods[name])
+            parts.append(f"{name}({len(table)} rows, {am_count} AMs)")
+        return f"Catalog({', '.join(parts)})"

@@ -1,0 +1,231 @@
+"""Synthetic data generators.
+
+Includes the three sources of the paper's Table 3 (R, S, T) plus generic
+generators (uniform, zipfian, foreign-key chains) used by the wider test and
+benchmark suites.  All generators are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Any, Callable, Sequence
+
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+# ---------------------------------------------------------------------------
+# Paper Table 3 sources
+# ---------------------------------------------------------------------------
+
+def make_source_r(
+    cardinality: int = 1000,
+    distinct_a: int = 250,
+    seed: int = 0,
+    name: str = "R",
+) -> Table:
+    """Source R of paper Table 3.
+
+    ``R(key, a)`` with ``cardinality`` rows; ``key`` is the primary key and
+    ``a`` has ``distinct_a`` distinct values assigned randomly — but with the
+    guarantee that every one of the ``distinct_a`` values appears at least
+    once when ``cardinality >= distinct_a`` (as in the paper: 1000 rows, 250
+    distinct values, i.e. four rows per value on average).
+    """
+    rng = random.Random(seed)
+    schema = Schema.of("key:int", "a:int", key=["key"])
+    table = Table(name, schema)
+    values = list(range(distinct_a))
+    assignments: list[int] = []
+    if cardinality >= distinct_a:
+        assignments.extend(values)
+        assignments.extend(rng.choice(values) for _ in range(cardinality - distinct_a))
+    else:
+        assignments.extend(rng.choice(values) for _ in range(cardinality))
+    rng.shuffle(assignments)
+    for key, a_value in enumerate(assignments):
+        table.insert((key, a_value))
+    return table
+
+
+def make_source_s(
+    cardinality: int = 250,
+    seed: int = 1,
+    name: str = "S",
+) -> Table:
+    """Source S of paper Table 3.
+
+    ``S(x, y)`` where both ``x`` and ``y`` are keys and every row has
+    identical values of ``x`` and ``y`` (paper: "All S tuples have identical
+    values of x and y"), i.e. ``x == y`` on every row.  S is only reachable
+    through asynchronous index access methods on ``x`` and on ``y``.
+    """
+    del seed  # deterministic by construction; kept for interface symmetry
+    schema = Schema.of("x:int", "y:int", key=["x"])
+    table = Table(name, schema)
+    for value in range(cardinality):
+        table.insert((value, value))
+    return table
+
+
+def make_source_t(
+    cardinality: int = 1000,
+    seed: int = 2,
+    name: str = "T",
+) -> Table:
+    """Source T of paper Table 3.
+
+    ``T(key)`` with an asynchronous index access method on its primary key
+    and a scan access method.  Keys are 0..cardinality-1 in a shuffled
+    physical order, so that a scan delivers them in "random" order.
+    """
+    rng = random.Random(seed)
+    schema = Schema.of("key:int", key=["key"])
+    table = Table(name, schema)
+    keys = list(range(cardinality))
+    rng.shuffle(keys)
+    for key in keys:
+        table.insert((key,))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Generic generators
+# ---------------------------------------------------------------------------
+
+def make_uniform_table(
+    name: str,
+    cardinality: int,
+    columns: Sequence[str] = ("id", "value"),
+    value_range: int = 1000,
+    seed: int = 0,
+    with_key: bool = True,
+) -> Table:
+    """A table with a sequential ``id`` column and uniform random integers."""
+    rng = random.Random(seed)
+    specs = [f"{columns[0]}:int"] + [f"{c}:int" for c in columns[1:]]
+    schema = Schema.of(*specs, key=[columns[0]] if with_key else [])
+    table = Table(name, schema)
+    for row_id in range(cardinality):
+        values = [row_id] + [rng.randrange(value_range) for _ in columns[1:]]
+        table.insert(values)
+    return table
+
+
+def make_zipfian_table(
+    name: str,
+    cardinality: int,
+    distinct: int = 100,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Table:
+    """A table ``(id, value)`` whose ``value`` column is Zipf-distributed.
+
+    Args:
+        distinct: number of distinct values.
+        skew: Zipf exponent; 0 is uniform, larger is more skewed.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(distinct)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        point = rng.random()
+        for value, boundary in enumerate(cumulative):
+            if point <= boundary:
+                return value
+        return distinct - 1
+
+    schema = Schema.of("id:int", "value:int", key=["id"])
+    table = Table(name, schema)
+    for row_id in range(cardinality):
+        table.insert((row_id, draw()))
+    return table
+
+
+def make_foreign_key_table(
+    name: str,
+    cardinality: int,
+    referenced: Table,
+    referenced_column: str,
+    fk_column: str = "fk",
+    seed: int = 0,
+    extra_columns: Sequence[str] = (),
+) -> Table:
+    """A table whose ``fk_column`` references values of another table's column.
+
+    Every generated foreign-key value is guaranteed to exist in the
+    referenced table, so an equi-join produces exactly ``cardinality`` rows
+    when the referenced column is a key.
+    """
+    rng = random.Random(seed)
+    referenced_values = sorted(referenced.distinct_values(referenced_column))
+    if not referenced_values:
+        raise ValueError(f"referenced table {referenced.name!r} is empty")
+    specs = ["id:int", f"{fk_column}:int"] + [f"{c}:int" for c in extra_columns]
+    schema = Schema.of(*specs, key=["id"])
+    table = Table(name, schema)
+    for row_id in range(cardinality):
+        fk_value = rng.choice(referenced_values)
+        extras = [rng.randrange(1000) for _ in extra_columns]
+        table.insert([row_id, fk_value] + extras)
+    return table
+
+
+def make_string_dimension(
+    name: str,
+    cardinality: int,
+    label_length: int = 8,
+    seed: int = 0,
+) -> Table:
+    """A dimension table ``(id, label)`` with random string labels."""
+    rng = random.Random(seed)
+    schema = Schema.of("id:int", "label:text", key=["id"])
+    table = Table(name, schema)
+    alphabet = string.ascii_lowercase
+    for row_id in range(cardinality):
+        label = "".join(rng.choice(alphabet) for _ in range(label_length))
+        table.insert((row_id, label))
+    return table
+
+
+def make_cyclic_triple(
+    cardinality: int = 200,
+    seed: int = 0,
+    match_fraction: float = 0.5,
+) -> tuple[Table, Table, Table]:
+    """Three tables A, B, C wired for a *cyclic* three-way join.
+
+    ``A(ab, ca)``, ``B(ab, bc)``, ``C(bc, ca)`` with join predicates
+    ``A.ab = B.ab``, ``B.bc = C.bc`` and ``C.ca = A.ca`` — a triangle in the
+    join graph, used by the cyclic-query / spanning-tree experiments.
+    ``match_fraction`` controls how many triples actually close the cycle.
+    """
+    rng = random.Random(seed)
+    schema_a = Schema.of("ab:int", "ca:int")
+    schema_b = Schema.of("ab:int", "bc:int")
+    schema_c = Schema.of("bc:int", "ca:int")
+    table_a = Table("A", schema_a)
+    table_b = Table("B", schema_b)
+    table_c = Table("C", schema_c)
+    for identifier in range(cardinality):
+        closes_cycle = rng.random() < match_fraction
+        ca_value = identifier if closes_cycle else cardinality + identifier
+        table_a.insert((identifier, identifier))
+        table_b.insert((identifier, identifier))
+        table_c.insert((identifier, ca_value))
+    return table_a, table_b, table_c
+
+
+def generate_rows(
+    count: int, generator: Callable[[int, random.Random], Sequence[Any]], seed: int = 0
+) -> list[Sequence[Any]]:
+    """Utility: produce ``count`` value-sequences from a row-generator callable."""
+    rng = random.Random(seed)
+    return [generator(index, rng) for index in range(count)]

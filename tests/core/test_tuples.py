@@ -1,0 +1,134 @@
+"""Tests for dataflow tuples (QTuple), TupleState, and EOT tuples."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.core.tuples import EOTTuple, QTuple, UNBUILT, singleton_tuple
+from repro.query.predicates import equi_join, selection
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+S_SCHEMA = Schema.of("x:int", "y:int")
+
+
+def r_row(key=1, a=10):
+    return Row("R", R_SCHEMA, (key, a))
+
+
+def s_row(x=10, y=10):
+    return Row("S", S_SCHEMA, (x, y))
+
+
+class TestQTupleBasics:
+    def test_singleton_properties(self):
+        tuple_ = singleton_tuple("R", r_row(), source="am:R_scan")
+        assert tuple_.is_singleton
+        assert tuple_.single_alias == "R"
+        assert tuple_.aliases == {"R"}
+        assert tuple_.source == "am:R_scan"
+        assert tuple_.timestamp == UNBUILT
+        assert math.isinf(tuple_.timestamp)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ExecutionError):
+            QTuple({})
+
+    def test_single_alias_requires_singleton(self):
+        tuple_ = QTuple({"R": r_row(), "S": s_row()})
+        with pytest.raises(ExecutionError):
+            _ = tuple_.single_alias
+
+    def test_value_access_and_spans(self):
+        tuple_ = QTuple({"R": r_row(a=7), "S": s_row(x=7)})
+        assert tuple_.value("R", "a") == 7
+        assert tuple_.spans(["R"])
+        assert tuple_.spans(["R", "S"])
+        assert not tuple_.spans(["R", "T"])
+
+    def test_tuple_ids_unique(self):
+        ids = {singleton_tuple("R", r_row(key=i)).tuple_id for i in range(10)}
+        assert len(ids) == 10
+
+    def test_identity_is_order_insensitive(self):
+        first = QTuple({"R": r_row(), "S": s_row()})
+        second = QTuple({"S": s_row(), "R": r_row()})
+        assert first.identity() == second.identity()
+
+
+class TestTupleState:
+    def test_done_bits(self):
+        predicate = selection("R.a", "<", 100)
+        tuple_ = singleton_tuple("R", r_row())
+        assert not tuple_.is_done(predicate)
+        tuple_.mark_done([predicate])
+        assert tuple_.is_done(predicate)
+        # marking by id also works
+        other = equi_join("R.a", "S.x")
+        tuple_.mark_done([other.predicate_id])
+        assert tuple_.is_done(other)
+
+    def test_visits(self):
+        tuple_ = singleton_tuple("R", r_row())
+        assert tuple_.visit_count("stem:S") == 0
+        assert tuple_.record_visit("stem:S") == 1
+        assert tuple_.record_visit("stem:S") == 2
+        assert tuple_.visit_count("stem:S") == 2
+
+    def test_mark_built_updates_timestamp(self):
+        tuple_ = singleton_tuple("R", r_row())
+        tuple_.mark_built("R", 17.0)
+        assert tuple_.timestamp == 17.0
+        assert "R" in tuple_.built
+
+    def test_resolution_tracking(self):
+        tuple_ = singleton_tuple("R", r_row())
+        assert not tuple_.is_resolved("S")
+        tuple_.mark_resolved("S")
+        assert tuple_.is_resolved("S")
+
+
+class TestExtension:
+    def test_extended_builds_composite(self):
+        base = singleton_tuple("R", r_row(a=5))
+        base.mark_built("R", 3.0)
+        predicate = equi_join("R.a", "S.x")
+        extended = base.extended("S", s_row(x=5), 7.0, extra_done=[predicate.predicate_id])
+        assert extended.aliases == {"R", "S"}
+        assert extended.timestamp == 7.0
+        assert extended.timestamps["R"] == 3.0
+        assert extended.is_done(predicate)
+        assert "S" in extended.built
+        # the original tuple is untouched
+        assert base.aliases == {"R"}
+        assert not base.is_done(predicate)
+
+    def test_extended_rejects_existing_alias(self):
+        base = singleton_tuple("R", r_row())
+        with pytest.raises(ExecutionError):
+            base.extended("R", r_row(), 1.0)
+
+    def test_extension_resets_visits_but_keeps_priority(self):
+        base = singleton_tuple("R", r_row())
+        base.priority = 2.5
+        base.record_visit("stem:S")
+        extended = base.extended("S", s_row(), 1.0)
+        assert extended.priority == 2.5
+        assert extended.visit_count("stem:S") == 0
+
+
+class TestEOT:
+    def test_scan_eot(self):
+        eot = EOTTuple(table="R", alias="R", am_name="am:R_scan")
+        assert eot.is_scan_eot
+        assert "scan complete" in repr(eot)
+
+    def test_index_eot(self):
+        eot = EOTTuple(
+            table="S", alias="S", am_name="am:S_idx",
+            bound_columns=("x",), bound_values=(15,),
+        )
+        assert not eot.is_scan_eot
+        assert "x=15" in repr(eot)

@@ -1,0 +1,179 @@
+"""Cross-engine correctness: every engine must return exactly the oracle result.
+
+This is the central correctness property of the paper (Theorems 1 and 2):
+whatever the routing policy, execution produces all result tuples and no
+duplicates.  The tests sweep engines, policies, and query shapes, always
+comparing against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.api import execute
+from repro.engine.joins_engine import JoinSpec, run_eddy_joins
+from repro.engine.static_engine import choose_join_order, run_static
+from repro.engine.stems_engine import run_stems
+from repro.query.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.datagen import (
+    make_cyclic_triple,
+    make_source_r,
+    make_source_s,
+    make_source_t,
+)
+from tests.conftest import oracle_identities
+
+POLICIES = ["naive", "benefit", "lottery", "random"]
+
+
+def rst_catalog(seed=0, t_has_scan=True) -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_source_r(70, 18, seed=seed))
+    catalog.add_table(make_source_s(30))
+    catalog.add_table(make_source_t(70, seed=seed + 1))
+    catalog.add_scan("R", rate=150.0)
+    catalog.add_index("S", ["x"], latency=0.02)
+    catalog.add_index("S", ["y"], latency=0.02)
+    if t_has_scan:
+        catalog.add_scan("T", rate=120.0)
+    catalog.add_index("T", ["key"], latency=0.02)
+    return catalog
+
+
+QUERIES = [
+    "SELECT * FROM R, S WHERE R.a = S.x",
+    "SELECT * FROM R, T WHERE R.key = T.key",
+    "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key",
+    "SELECT * FROM R, S, T WHERE R.a = S.x AND R.key = T.key",
+    "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 8",
+    "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key AND T.key > 10 AND R.a < 12",
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("sql", QUERIES)
+def test_stems_engine_matches_oracle(sql, policy):
+    catalog = rst_catalog()
+    query = parse_query(sql)
+    result = run_stems(query, catalog, policy=policy)
+    assert not result.has_duplicates()
+    assert sorted(result.identities()) == oracle_identities(query, catalog)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_eddy_joins_engine_matches_oracle(sql):
+    catalog = rst_catalog()
+    query = parse_query(sql)
+    result = run_eddy_joins(query, catalog)
+    assert not result.has_duplicates()
+    assert sorted(result.identities()) == oracle_identities(query, catalog)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_static_engine_matches_oracle(sql):
+    catalog = rst_catalog()
+    query = parse_query(sql)
+    result = run_static(query, catalog)
+    assert sorted(result.identities()) == oracle_identities(query, catalog)
+
+
+def test_stems_engine_without_t_scan_uses_index_only():
+    catalog = rst_catalog(t_has_scan=False)
+    query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key")
+    result = run_stems(query, catalog, policy="naive")
+    assert sorted(result.identities()) == oracle_identities(query, catalog)
+    assert result.total_index_lookups() > 0
+
+
+def test_cyclic_query_all_engines():
+    table_a, table_b, table_c = make_cyclic_triple(70, seed=9, match_fraction=0.5)
+    catalog = Catalog()
+    for table in (table_a, table_b, table_c):
+        catalog.add_table(table)
+        catalog.add_scan(table.name, rate=100.0)
+    query = parse_query(
+        "SELECT * FROM A, B, C WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca"
+    )
+    expected = oracle_identities(query, catalog)
+    for policy in POLICIES:
+        result = run_stems(query, catalog, policy=policy)
+        assert sorted(result.identities()) == expected, policy
+    assert sorted(run_static(query, catalog).identities()) == expected
+
+
+def test_execute_api_dispatch(small_rt_catalog, q4_query):
+    for engine in ("stems", "eddy-joins", "static"):
+        result = execute(q4_query, small_rt_catalog, engine=engine)
+        assert result.engine == engine or engine == "eddy-joins"
+        assert result.row_count == 60
+    with pytest.raises(Exception):
+        execute(q4_query, small_rt_catalog, engine="volcano")
+
+
+def test_execute_accepts_sql_strings(small_rt_catalog):
+    result = execute("SELECT * FROM R, T WHERE R.key = T.key", small_rt_catalog)
+    assert result.row_count == 60
+
+
+def test_explicit_join_plan_variants(small_rt_catalog, q4_query):
+    index_plan = [JoinSpec(kind="index", left=("R",), right="T",
+                           index_columns=("key",), lookup_latency=0.05)]
+    shj_plan = [JoinSpec(kind="shj", left=("R",), right="T")]
+    for plan in (index_plan, shj_plan):
+        result = run_eddy_joins(q4_query, small_rt_catalog, plan=plan)
+        assert result.row_count == 60
+        assert not result.has_duplicates()
+
+
+def test_static_engine_join_order_heuristic(small_rt_catalog, q4_query):
+    order = choose_join_order(q4_query, small_rt_catalog)
+    assert sorted(order) == ["R", "T"]
+
+
+class TestResultObject:
+    def test_rows_flattening(self, small_rt_catalog, q4_query):
+        result = execute(q4_query, small_rt_catalog, engine="stems", policy="naive")
+        rows = result.rows()
+        assert len(rows) == result.row_count
+        assert set(rows[0]) == {"R.key", "R.a", "T.key"}
+        assert all(row["R.key"] == row["T.key"] for row in rows)
+
+    def test_series_helpers(self, small_rt_catalog, q4_query):
+        result = execute(q4_query, small_rt_catalog, engine="stems", policy="naive")
+        series = result.output_series
+        assert series.count_at(-1.0) == 0
+        assert series.count_at(series.final_time) == series.final_count
+        assert series.time_to_count(1) is not None
+        assert series.time_to_count(10**9) is None
+        sampled = series.sampled([0.0, series.final_time])
+        assert sampled[-1][1] == series.final_count
+
+    def test_summary_mentions_engine_and_counts(self, small_rt_catalog, q4_query):
+        result = execute(q4_query, small_rt_catalog, engine="stems", policy="naive")
+        text = result.summary()
+        assert "stems" in text and "60 rows" in text
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    policy=st.sampled_from(POLICIES),
+    r_rows=st.integers(5, 60),
+    distinct=st.integers(1, 20),
+)
+def test_property_random_workloads_match_oracle(seed, policy, r_rows, distinct):
+    """Property: for random workloads and any policy, results equal the oracle."""
+    catalog = Catalog()
+    catalog.add_table(make_source_r(r_rows, distinct, seed=seed))
+    catalog.add_table(make_source_s(max(distinct, 1)))
+    catalog.add_table(make_source_t(r_rows, seed=seed + 1))
+    catalog.add_scan("R", rate=200.0)
+    catalog.add_index("S", ["x"], latency=0.01)
+    catalog.add_scan("T", rate=150.0)
+    catalog.add_index("T", ["key"], latency=0.01)
+    query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND R.key = T.key")
+    result = run_stems(query, catalog, policy=policy)
+    assert not result.has_duplicates()
+    assert sorted(result.identities()) == oracle_identities(query, catalog)

@@ -1,0 +1,210 @@
+"""Tests for the traditional join algorithms (baselines and oracles)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.joins.base import composite_key, extract_equi_join, merge, singleton
+from repro.joins.grace_hash import GraceHashJoin, HybridHashJoin
+from repro.joins.hash_join import HashJoin
+from repro.joins.index_join import IndexJoin
+from repro.joins.nested_loops import BlockNestedLoopsJoin, NestedLoopsJoin
+from repro.joins.sort_merge import SortMergeJoin
+from repro.joins.symmetric_hash_join import SymmetricHashJoin
+from repro.query.predicates import equi_join, selection
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+S_SCHEMA = Schema.of("x:int", "y:int")
+
+
+def r_input(pairs):
+    return [singleton("R", Row("R", R_SCHEMA, values)) for values in pairs]
+
+
+def s_input(pairs):
+    return [singleton("S", Row("S", S_SCHEMA, values)) for values in pairs]
+
+
+def reference_join(left, right, predicates):
+    """Ground truth via naive nested loops."""
+    oracle = NestedLoopsJoin(predicates, {"R"}, {"S"})
+    return sorted(composite_key(c) for c in oracle.join(left, right))
+
+
+EQUI = [equi_join("R.a", "S.x")]
+
+ALGORITHMS = [
+    lambda: HashJoin(EQUI, {"R"}, {"S"}),
+    lambda: SymmetricHashJoin(EQUI, {"R"}, {"S"}),
+    lambda: GraceHashJoin(EQUI, {"R"}, {"S"}, partitions=3),
+    lambda: HybridHashJoin(EQUI, {"R"}, {"S"}, partitions=3),
+    lambda: SortMergeJoin(EQUI, {"R"}, {"S"}),
+    lambda: BlockNestedLoopsJoin(EQUI, {"R"}, {"S"}, block_size=4),
+]
+
+
+@pytest.mark.parametrize("factory", ALGORITHMS)
+def test_all_algorithms_agree_with_nested_loops(factory):
+    left = r_input([(i, i % 5) for i in range(20)])
+    right = s_input([(j, j) for j in range(8)])
+    expected = reference_join(left, right, EQUI)
+    operator = factory()
+    actual = sorted(composite_key(c) for c in operator.join(left, right))
+    assert actual == expected
+    assert len(actual) > 0
+
+
+@pytest.mark.parametrize("factory", ALGORITHMS)
+def test_empty_inputs(factory):
+    operator = factory()
+    assert list(operator.join([], s_input([(1, 1)]))) == []
+    operator = factory()
+    assert list(operator.join(r_input([(1, 1)]), [])) == []
+
+
+def test_duplicate_keys_produce_cross_products():
+    left = r_input([(0, 7), (1, 7), (2, 7)])
+    right = s_input([(7, 0), (7, 1)])
+    for factory in ALGORITHMS:
+        operator = factory()
+        results = list(operator.join(left, right))
+        assert len(results) == 6
+
+
+def test_residual_predicates_are_applied():
+    predicates = [equi_join("R.a", "S.x"), selection("S.y", ">", 0)]
+    left = r_input([(0, 7), (1, 8)])
+    right = s_input([(7, 0), (8, 5)])
+    operator = HashJoin(predicates, {"R"}, {"S"})
+    results = list(operator.join(left, right))
+    assert len(results) == 1
+    assert results[0]["S"]["y"] == 5
+
+
+def test_equi_join_required_by_hash_family():
+    non_equi = [selection("R.a", ">", 0)]
+    for cls in (HashJoin, SymmetricHashJoin, GraceHashJoin, HybridHashJoin, SortMergeJoin):
+        with pytest.raises(QueryError):
+            cls(non_equi, {"R"}, {"S"})
+
+
+def test_theta_join_falls_back_to_nested_loops():
+    predicates = [
+        __import__("repro.query.predicates", fromlist=["Comparison"]).Comparison(
+            "R.a", "<", "S.x"
+        )
+    ]
+    left = r_input([(0, 1), (1, 5)])
+    right = s_input([(3, 3)])
+    operator = NestedLoopsJoin(predicates, {"R"}, {"S"})
+    results = list(operator.join(left, right))
+    assert len(results) == 1 and results[0]["R"]["a"] == 1 is not None
+    assert results[0]["R"]["a"] < results[0]["S"]["x"]
+
+
+class TestSymmetricHashJoinPipelining:
+    def test_push_produces_results_incrementally(self):
+        operator = SymmetricHashJoin(EQUI, {"R"}, {"S"})
+        assert operator.push("left", singleton("R", Row("R", R_SCHEMA, (0, 3)))) == []
+        results = operator.push("right", singleton("S", Row("S", S_SCHEMA, (3, 3))))
+        assert len(results) == 1
+        # A second matching left tuple joins with the already-built right one.
+        results = operator.push("left", singleton("R", Row("R", R_SCHEMA, (1, 3))))
+        assert len(results) == 1
+        assert operator.left_size == 2 and operator.right_size == 1
+
+    def test_invalid_side_rejected(self):
+        operator = SymmetricHashJoin(EQUI, {"R"}, {"S"})
+        with pytest.raises(QueryError):
+            operator.push("middle", singleton("R", Row("R", R_SCHEMA, (0, 3))))
+
+
+class TestIndexJoin:
+    def make_table(self):
+        table = Table("S", S_SCHEMA)
+        table.insert_many([(i, i) for i in range(10)])
+        return table
+
+    def test_lookup_caching(self):
+        table = self.make_table()
+        operator = IndexJoin.on_table(EQUI, {"R"}, "S", table, ["x"])
+        outer = r_input([(0, 4), (1, 4), (2, 5)])
+        results = list(operator.join(outer))
+        assert len(results) == 3
+        assert operator.stats["index_lookups"] == 2  # distinct keys 4 and 5
+        assert operator.stats["cache_hits"] == 1
+
+    def test_cache_disabled(self):
+        table = self.make_table()
+        operator = IndexJoin.on_table(EQUI, {"R"}, "S", table, ["x"], cache_enabled=False)
+        list(operator.join(r_input([(0, 4), (1, 4)])))
+        assert operator.stats["index_lookups"] == 2
+        assert operator.stats["cache_hits"] == 0
+
+    def test_matches_respect_predicates(self):
+        table = self.make_table()
+        predicates = [equi_join("R.a", "S.x"), selection("S.y", "<", 3)]
+        operator = IndexJoin.on_table(predicates, {"R"}, "S", table, ["x"])
+        results = list(operator.join(r_input([(0, 2), (1, 8)])))
+        assert len(results) == 1 and results[0]["S"]["x"] == 2
+
+
+class TestPartitionedJoins:
+    def test_grace_spills_everything(self):
+        operator = GraceHashJoin(EQUI, {"R"}, {"S"}, partitions=4)
+        list(operator.join(r_input([(i, i) for i in range(10)]), s_input([(i, i) for i in range(10)])))
+        assert operator.stats["spilled"] == 20
+
+    def test_hybrid_produces_some_results_immediately(self):
+        operator = HybridHashJoin(EQUI, {"R"}, {"S"}, partitions=2)
+        results = list(
+            operator.join(
+                r_input([(i, i) for i in range(20)]), s_input([(i, i) for i in range(20)])
+            )
+        )
+        assert len(results) == 20
+        assert 0 < operator.stats["immediate_results"] < 20
+        assert operator.stats["spilled"] > 0
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            GraceHashJoin(EQUI, {"R"}, {"S"}, partitions=0)
+        with pytest.raises(ValueError):
+            HybridHashJoin(EQUI, {"R"}, {"S"}, partitions=0)
+
+
+class TestBaseHelpers:
+    def test_merge_rejects_overlap(self):
+        left = singleton("R", Row("R", R_SCHEMA, (0, 1)))
+        with pytest.raises(QueryError):
+            merge(left, left)
+
+    def test_extract_equi_join_orientation(self):
+        spec = extract_equi_join([equi_join("S.x", "R.a")], {"R"}, {"S"})
+        assert spec.left_columns == (("R", "a"),)
+        assert spec.right_columns == (("S", "x"),)
+        assert spec.residual == ()
+
+    def test_extract_equi_join_residual(self):
+        predicates = [equi_join("R.a", "S.x"), selection("R.a", ">", 2)]
+        spec = extract_equi_join(predicates, {"R"}, {"S"})
+        assert len(spec.residual) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    left_keys=st.lists(st.integers(0, 6), max_size=25),
+    right_keys=st.lists(st.integers(0, 6), max_size=25),
+)
+def test_property_all_equijoin_algorithms_equivalent(left_keys, right_keys):
+    """Property: every algorithm returns exactly the nested-loops result set."""
+    left = r_input([(i, key) for i, key in enumerate(left_keys)])
+    right = s_input([(key, i) for i, key in enumerate(right_keys)])
+    expected = reference_join(left, right, EQUI)
+    for factory in ALGORITHMS:
+        operator = factory()
+        actual = sorted(composite_key(c) for c in operator.join(left, right))
+        assert actual == expected

@@ -1,0 +1,118 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.expressions import ColumnRef, Literal
+from repro.query.parser import parse_query
+from repro.query.predicates import Comparison, InList
+
+
+class TestBasicParsing:
+    def test_select_star_two_tables(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x")
+        assert query.alias_order == ("R", "S")
+        assert query.is_select_star
+        assert len(query.predicates) == 1
+        assert query.predicates[0].is_equi_join
+
+    def test_keywords_are_case_insensitive(self):
+        query = parse_query("select * from R where R.a = 1")
+        assert query.alias_order == ("R",)
+
+    def test_projection_list(self):
+        query = parse_query("SELECT R.a, S.y FROM R, S WHERE R.a = S.x")
+        assert [(p.alias, p.column) for p in query.projections] == [("R", "a"), ("S", "y")]
+
+    def test_aliases_with_and_without_as(self):
+        query = parse_query("SELECT * FROM Orders AS o, Customers c WHERE o.cid = c.id")
+        assert query.alias_order == ("o", "c")
+        assert query.table_of("o") == "Orders"
+        assert query.table_of("c") == "Customers"
+
+    def test_multiple_conjuncts(self):
+        query = parse_query(
+            "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key AND R.a < 100"
+        )
+        assert len(query.predicates) == 3
+        assert len(query.join_predicates) == 2
+        assert len(query.selection_predicates) == 1
+
+    def test_literals(self):
+        query = parse_query(
+            "SELECT * FROM R WHERE R.a = 3 AND R.name = 'bob''s' AND R.score = 1.5 AND R.ok = true"
+        )
+        values = []
+        for predicate in query.predicates:
+            assert isinstance(predicate, Comparison)
+            assert isinstance(predicate.right, Literal)
+            values.append(predicate.right.value)
+        assert values == [3, "bob's", 1.5, True]
+
+    def test_unqualified_columns_single_table(self):
+        query = parse_query("SELECT a FROM R WHERE a < 5 AND key = 3")
+        assert query.projections[0] == ColumnRef("R", "a")
+        assert all(p.aliases() == {"R"} for p in query.predicates)
+
+    def test_in_list(self):
+        query = parse_query("SELECT * FROM R WHERE R.a IN (1, 2, 3)")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, InList)
+        assert predicate.values == frozenset({1, 2, 3})
+
+    def test_trailing_semicolon(self):
+        query = parse_query("SELECT * FROM R;")
+        assert query.alias_order == ("R",)
+
+    def test_no_where_clause(self):
+        query = parse_query("SELECT * FROM R, S")
+        assert query.predicates == ()
+
+    def test_self_join_aliases(self):
+        query = parse_query("SELECT * FROM R r1, R r2 WHERE r1.a = r2.key")
+        assert query.is_self_join
+        assert query.aliases_of_table("R") == ("r1", "r2")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROM R",                                  # missing SELECT
+            "SELECT * R",                              # missing FROM
+            "SELECT * FROM R WHERE",                   # dangling WHERE
+            "SELECT * FROM R WHERE R.a >",             # missing operand
+            "SELECT * FROM R WHERE R.a ! 3",           # bad operator
+            "SELECT * FROM R extra garbage here = 3",  # trailing tokens
+            "SELECT * FROM R WHERE R.a IN ()",         # empty IN list
+            "SELECT * FROM WHERE R.a = 1",             # keyword as table
+            "SELECT * FROM R WHERE R.a = $5",          # bad character
+        ],
+    )
+    def test_invalid_queries_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_unqualified_column_in_multi_table_query(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM R, S WHERE R.a = S.x")
+
+    def test_in_requires_column(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R WHERE 3 IN (1, 2)")
+
+
+class TestRoundTripWithPaperQueries:
+    def test_q1(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x")
+        assert query.join_columns_of("R") == ("a",)
+        assert query.join_columns_of("S") == ("x",)
+
+    def test_q4(self):
+        query = parse_query("SELECT * FROM R, T WHERE R.key = T.key")
+        assert query.join_partners("R") == {"T"}
+
+    def test_three_way_example(self):
+        query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key")
+        assert query.join_partners("S") == {"R", "T"}
+        assert query.join_columns_of("S") == ("x", "y")

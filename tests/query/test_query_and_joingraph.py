@@ -1,0 +1,139 @@
+"""Tests for the Query object and the join graph."""
+
+import pytest
+
+from repro.errors import QueryError, UnknownTableError
+from repro.query.joingraph import JoinGraph
+from repro.query.parser import parse_query
+from repro.query.predicates import equi_join, selection
+from repro.query.query import Query, TableRef
+
+
+class TestQuery:
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            Query(tables=["R", "R"])
+
+    def test_empty_from_rejected(self):
+        with pytest.raises(QueryError):
+            Query(tables=[])
+
+    def test_unknown_alias_in_predicate_rejected(self):
+        with pytest.raises(UnknownTableError):
+            Query(tables=["R"], predicates=[equi_join("R.a", "S.x")])
+
+    def test_unknown_alias_in_projection_rejected(self):
+        with pytest.raises(UnknownTableError):
+            Query(tables=["R"], projections=["S.x"])
+
+    def test_predicate_classification(self):
+        query = parse_query(
+            "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key AND T.key > 5"
+        )
+        assert len(query.equi_join_predicates) == 2
+        assert [p.aliases() for p in query.selection_predicates] == [{"T"}]
+        assert query.predicates_on("T") == (query.selection_predicates[0],)
+        assert query.predicates_on("R") == ()
+
+    def test_predicates_between(self):
+        query = parse_query(
+            "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key"
+        )
+        between = query.predicates_between(["R"], ["S"])
+        assert len(between) == 1 and between[0].aliases() == {"R", "S"}
+        assert query.predicates_between(["R"], ["T"]) == ()
+        both = query.predicates_between(["R", "S"], ["T"])
+        assert len(both) == 1 and both[0].aliases() == {"S", "T"}
+
+    def test_join_partners_and_columns(self):
+        query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND R.key = T.key")
+        assert query.join_partners("R") == {"S", "T"}
+        assert query.join_partners("S") == {"R"}
+        assert query.join_columns_of("R") == ("a", "key")
+
+    def test_output_columns_select_star(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x")
+        columns = query.output_columns({"R": ["key", "a"], "S": ["x", "y"]})
+        assert columns == (("R", "key"), ("R", "a"), ("S", "x"), ("S", "y"))
+
+    def test_output_columns_projection(self):
+        query = parse_query("SELECT S.y, R.a FROM R, S WHERE R.a = S.x")
+        columns = query.output_columns({"R": ["key", "a"], "S": ["x", "y"]})
+        assert columns == (("S", "y"), ("R", "a"))
+
+    def test_table_ref_str(self):
+        assert str(TableRef.of("R")) == "R"
+        assert str(TableRef.of("R", "r1")) == "R AS r1"
+
+
+class TestJoinGraph:
+    def test_chain_is_acyclic_and_connected(self):
+        query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key")
+        graph = JoinGraph.from_query(query)
+        assert graph.is_connected
+        assert not graph.is_cyclic
+        assert graph.neighbors("S") == ["R", "T"]
+        assert graph.neighbors("R") == ["S"]
+
+    def test_triangle_is_cyclic(self):
+        query = parse_query(
+            "SELECT * FROM A, B, C WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca"
+        )
+        graph = JoinGraph.from_query(query)
+        assert graph.is_cyclic
+        assert graph.is_connected
+
+    def test_parallel_edges_count_as_cycle(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x AND R.key = S.y")
+        graph = JoinGraph.from_query(query)
+        assert graph.is_cyclic
+
+    def test_disconnected_graph(self):
+        query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x")
+        graph = JoinGraph.from_query(query)
+        assert not graph.is_connected
+        assert len(graph.connected_components) == 2
+
+    def test_spanning_tree_covers_all_connected_nodes(self):
+        query = parse_query(
+            "SELECT * FROM A, B, C WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca"
+        )
+        graph = JoinGraph.from_query(query)
+        tree = graph.spanning_tree(root="A")
+        assert len(tree) == 2
+        covered = set()
+        for edge in tree:
+            covered |= {edge.left, edge.right}
+        assert covered == {"A", "B", "C"}
+
+    def test_spanning_tree_unknown_root(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x")
+        graph = JoinGraph.from_query(query)
+        with pytest.raises(QueryError):
+            graph.spanning_tree(root="Z")
+
+    def test_spanning_trees_enumeration_of_triangle(self):
+        query = parse_query(
+            "SELECT * FROM A, B, C WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca"
+        )
+        graph = JoinGraph.from_query(query)
+        trees = list(graph.spanning_trees())
+        # A triangle has exactly three spanning trees.
+        assert len(trees) == 3
+        limited = list(graph.spanning_trees(limit=2))
+        assert len(limited) == 2
+
+    def test_spanning_trees_requires_connectivity(self):
+        query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x")
+        graph = JoinGraph.from_query(query)
+        with pytest.raises(QueryError):
+            list(graph.spanning_trees())
+
+    def test_edges_between(self):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x AND R.key = S.y")
+        graph = JoinGraph.from_query(query)
+        assert len(graph.edges_between("R", "S")) == 2
+        edge = graph.edges_between("R", "S")[0]
+        assert edge.other("R") == "S"
+        with pytest.raises(QueryError):
+            edge.other("Z")

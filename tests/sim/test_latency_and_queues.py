@@ -1,0 +1,109 @@
+"""Tests for latency/availability models and bounded queues."""
+
+import pytest
+
+from repro.sim.latency import (
+    AvailabilityModel,
+    ConstantLatency,
+    ExponentialLatency,
+    StallWindow,
+    UniformLatency,
+)
+from repro.sim.queues import BoundedQueue
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(1.6)
+        assert model.sample() == 1.6
+        assert model.mean == 1.6
+
+    def test_uniform_bounds_and_mean(self):
+        model = UniformLatency(1.0, 3.0, seed=1)
+        samples = [model.sample() for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert model.mean == 2.0
+        assert 1.8 < sum(samples) / len(samples) < 2.2
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+    def test_exponential_mean(self):
+        model = ExponentialLatency(0.5, seed=2)
+        samples = [model.sample() for _ in range(2000)]
+        assert model.mean == 0.5
+        assert 0.4 < sum(samples) / len(samples) < 0.6
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0)
+
+    def test_latency_models_are_deterministic_per_seed(self):
+        first = [UniformLatency(0, 1, seed=7).sample() for _ in range(5)]
+        second = [UniformLatency(0, 1, seed=7).sample() for _ in range(5)]
+        assert first == second
+
+
+class TestAvailability:
+    def test_stall_window_contains(self):
+        window = StallWindow(10.0, 5.0)
+        assert window.end == 15.0
+        assert window.contains(10.0) and window.contains(14.9)
+        assert not window.contains(15.0) and not window.contains(9.9)
+
+    def test_next_available_pushes_past_stall(self):
+        model = AvailabilityModel.single_stall(10.0, 5.0)
+        assert model.next_available(3.0) == 3.0
+        assert model.next_available(12.0) == 15.0
+        assert model.delay_until_available(12.0) == 3.0
+        assert model.is_stalled(11.0)
+        assert not model.is_stalled(16.0)
+
+    def test_chained_stalls(self):
+        model = AvailabilityModel([StallWindow(0.0, 5.0), StallWindow(5.0, 5.0)])
+        assert model.next_available(1.0) == 10.0
+
+    def test_always_available(self):
+        model = AvailabilityModel.always_available()
+        assert model.next_available(42.0) == 42.0
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue[int]()
+        for value in range(5):
+            queue.push(value)
+        assert [queue.pop() for _ in range(5)] == list(range(5))
+
+    def test_capacity_and_rejection(self):
+        queue = BoundedQueue[int](capacity=2)
+        assert queue.offer(1) and queue.offer(2)
+        assert queue.is_full
+        assert not queue.offer(3)
+        assert queue.rejected == 1
+        queue.pop()
+        assert queue.offer(3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=0)
+
+    def test_statistics(self):
+        queue = BoundedQueue[int](capacity=3)
+        for value in range(3):
+            queue.offer(value)
+        queue.pop()
+        queue.offer(9)
+        assert queue.total_enqueued == 4
+        assert queue.max_occupancy == 3
+
+    def test_peek_and_empty(self):
+        queue = BoundedQueue[int]()
+        assert queue.peek() is None
+        assert queue.is_empty
+        queue.push(7)
+        assert queue.peek() == 7
+        assert len(queue) == 1
+        with pytest.raises(IndexError):
+            BoundedQueue[int]().pop()

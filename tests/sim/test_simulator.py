@@ -1,0 +1,175 @@
+"""Tests for the discrete-event simulation substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import Counter, TraceLog
+
+
+class TestVirtualClock:
+    def test_monotonic_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            event = queue.pop()
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.push(1.0, lambda name=name: fired.append(name))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, label="keep")
+        drop = queue.push(0.5, lambda: None, label="drop")
+        queue.cancel(drop)
+        assert len(queue) == 1
+        assert queue.peek_time() == 1.0
+        assert queue.pop() is keep
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        final = sim.run()
+        assert times == [1.0, 2.0]
+        assert final == 2.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(3.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 4.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        for delay in (1.0, 2.0, 10.0):
+            sim.schedule(delay, lambda d=delay: seen.append(d))
+        sim.run(until=5.0)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == [1.0, 2.0, 10.0]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(9.0, lambda: None)
+        sim.run_for(5.0)
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(-5.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_trace_records_events(self):
+        trace = TraceLog()
+        sim = Simulator(trace=trace)
+        sim.schedule(1.0, lambda: None, label="tick")
+        sim.run()
+        assert trace.count("event") == 1
+        assert trace.filter("event")[0].detail == "tick"
+
+    def test_drain(self):
+        sim = Simulator()
+        seen = []
+        sim.drain([lambda: seen.append(1), lambda: seen.append(2)])
+        assert seen == [1, 2]
+
+
+class TestTracingHelpers:
+    def test_counter_series(self):
+        counter = Counter("probes", keep_series=True)
+        counter.increment(1.0)
+        counter.increment(2.0, 3)
+        assert counter.value == 4
+        assert counter.series == [(1.0, 1), (2.0, 4)]
+        assert int(counter) == 4
+
+    def test_disabled_trace_is_a_noop(self):
+        trace = TraceLog(enabled=False)
+        trace.record(1.0, "x")
+        assert len(trace) == 0
+
+    def test_times_of(self):
+        trace = TraceLog()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        trace.record(3.0, "a")
+        assert trace.times_of("a") == [1.0, 3.0]
+        trace.clear()
+        assert len(trace) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_events_always_fire_in_time_order(delays):
+    """Property: callbacks run in nondecreasing virtual-time order."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

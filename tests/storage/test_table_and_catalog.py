@@ -1,0 +1,140 @@
+"""Tests for tables, catalogs, and access-method declarations."""
+
+import pytest
+
+from repro.errors import CatalogError, DuplicateTableError, SchemaError, UnknownTableError
+from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
+from repro.storage.schema import Schema
+from repro.storage.table import Table, table_from_dicts
+
+
+def make_table() -> Table:
+    return Table("R", Schema.of("key:int", "a:int", key=["key"]))
+
+
+class TestTable:
+    def test_insert_sequences_mappings_rows(self):
+        table = make_table()
+        table.insert((1, 10))
+        table.insert({"key": 2, "a": 20})
+        table.insert(table.rows[0].replace(a=99).replace(key=3))
+        assert len(table) == 3
+        assert table.rows[1]["a"] == 20
+
+    def test_primary_key_uniqueness(self):
+        table = make_table()
+        table.insert((1, 10))
+        with pytest.raises(SchemaError):
+            table.insert((1, 11))
+
+    def test_rids_are_sequential(self):
+        table = make_table()
+        for i in range(5):
+            table.insert((i, i))
+        assert [row.rid for row in table] == list(range(5))
+
+    def test_scan_with_predicate(self):
+        table = make_table()
+        table.insert_many([(i, i % 3) for i in range(9)])
+        filtered = list(table.scan(lambda row: row["a"] == 0))
+        assert len(filtered) == 3
+
+    def test_lookup_via_primary_key_index(self):
+        table = make_table()
+        table.insert_many([(i, i * 2) for i in range(10)])
+        assert [r["a"] for r in table.lookup(("key",), (4,))] == [8]
+
+    def test_lookup_via_secondary_index_and_fallback(self):
+        table = make_table()
+        table.insert_many([(i, i % 4) for i in range(12)])
+        without_index = table.lookup(("a",), (1,))
+        table.create_index(("a",))
+        with_index = table.lookup(("a",), (1,))
+        assert sorted(r["key"] for r in without_index) == sorted(r["key"] for r in with_index)
+
+    def test_create_index_unknown_column(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.create_index(("nope",))
+
+    def test_secondary_index_sees_later_inserts(self):
+        table = make_table()
+        index = table.create_index(("a",))
+        table.insert((1, 42))
+        assert len(index.lookup((42,))) == 1
+
+    def test_distinct_values(self):
+        table = make_table()
+        table.insert_many([(i, i % 5) for i in range(20)])
+        assert table.distinct_values("a") == {0, 1, 2, 3, 4}
+
+    def test_table_from_dicts_infers_schema(self):
+        table = table_from_dicts("D", [{"id": 1, "name": "x"}, {"id": 2, "name": "y"}], key=["id"])
+        assert table.schema.names == ("id", "name")
+        assert len(table) == 2
+        with pytest.raises(SchemaError):
+            table_from_dicts("E", [])
+
+
+class TestCatalog:
+    def test_create_and_lookup_tables(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"), rows=[(1,), (2,)])
+        assert catalog.has_table("R")
+        assert len(catalog.table("R")) == 2
+        with pytest.raises(UnknownTableError):
+            catalog.table("missing")
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"))
+        with pytest.raises(DuplicateTableError):
+            catalog.create_table("R", Schema.of("key:int"))
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"))
+        catalog.drop_table("R")
+        assert not catalog.has_table("R")
+
+    def test_add_scan_and_index(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int", "a:int"), rows=[(1, 2)])
+        scan = catalog.add_scan("R", rate=42.0)
+        index = catalog.add_index("R", ["a"], latency=0.5)
+        assert isinstance(scan, ScanSpec) and scan.is_scan
+        assert isinstance(index, IndexSpec) and not index.is_scan
+        assert index.bind_columns == ("a",)
+        assert catalog.has_scan("R")
+        assert [s.name for s in catalog.scans("R")] == [scan.name]
+        assert [s.name for s in catalog.indexes("R")] == [index.name]
+
+    def test_index_on_unknown_column_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"))
+        with pytest.raises(CatalogError):
+            catalog.add_index("R", ["nope"])
+
+    def test_index_requires_bind_columns(self):
+        with pytest.raises(CatalogError):
+            IndexSpec(name="bad", table="R", columns=())
+
+    def test_duplicate_am_names_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"))
+        catalog.add_scan("R", name="the_scan")
+        with pytest.raises(CatalogError):
+            catalog.add_scan("R", name="the_scan")
+
+    def test_default_am_names_are_unique(self):
+        catalog = Catalog()
+        catalog.create_table("R", Schema.of("key:int"))
+        first = catalog.add_scan("R")
+        second = catalog.add_scan("R")
+        assert first.name != second.name
+
+    def test_index_declaration_builds_backing_index(self):
+        catalog = Catalog()
+        table = catalog.create_table("R", Schema.of("key:int", "a:int"), rows=[(1, 5)])
+        catalog.add_index("R", ["a"])
+        assert table.get_index(("a",)) is not None

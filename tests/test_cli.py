@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, demo_catalog, main
+
+
+def test_demo_catalog_matches_table3():
+    catalog = demo_catalog()
+    assert catalog.has_scan("R")
+    assert not catalog.has_scan("S")
+    assert catalog.has_scan("T") and catalog.indexes("T")
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_query_command_runs_and_prints(capsys):
+    exit_code = main([
+        "query",
+        "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 20",
+        "--engine", "stems",
+        "--policy", "naive",
+        "--show-rows", "2",
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "[stems]" in captured
+    assert "results=" in captured
+    assert "R.key" in captured
+
+
+def test_query_command_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        main(["query", "SELECT * FROM R", "--engine", "volcano"])
+
+
+def test_extensions_command_prints_all_three_experiments(capsys):
+    exit_code = main(["extensions"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Competitive AMs" in captured
+    assert "Spanning tree" in captured
+    assert "Priorities" in captured
