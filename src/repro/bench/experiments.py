@@ -67,6 +67,7 @@ def run_figure7(
     r_scan_rate: float = 50.0,
     s_index_latency: float = 1.6,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> ExperimentReport:
     """Reproduce Figure 7: results over time and index probes for Q1.
 
@@ -74,6 +75,9 @@ def run_figure7(
         ``index-join`` — the eddy routes R tuples to an encapsulated index
         join module on S (paper Figure 5).
         ``stems`` — SteMs on R and S, index AM on S (paper Figure 6).
+
+    ``batch_size`` selects the eddy's routing batch (1 = the paper's
+    per-tuple routing) and applies to both approaches.
     """
     make = lambda: q1_workload(r_rows, distinct_a, r_scan_rate, s_index_latency, seed)
     report = ExperimentReport("figure7", make())
@@ -89,12 +93,18 @@ def run_figure7(
         )
     ]
     report.results["index-join"] = run_eddy_joins(
-        baseline_workload.query, baseline_workload.catalog, plan=baseline_plan
+        baseline_workload.query,
+        baseline_workload.catalog,
+        plan=baseline_plan,
+        batch_size=batch_size,
     )
 
     stems_workload = make()
     report.results["stems"] = run_stems(
-        stems_workload.query, stems_workload.catalog, policy=NaivePolicy()
+        stems_workload.query,
+        stems_workload.catalog,
+        policy=NaivePolicy(),
+        batch_size=batch_size,
     )
     report.notes["shape"] = (
         "index-join output is convex (head-of-line blocking behind uncached "
@@ -131,6 +141,7 @@ def run_figure8(
     t_index_latency: float = 0.2,
     seed: int = 0,
     exploration: float = 0.05,
+    batch_size: int = 1,
 ) -> ExperimentReport:
     """Reproduce Figure 8: Q4 with index join, hash join, and SteM hybrid.
 
@@ -139,6 +150,9 @@ def run_figure8(
         ``hash-join`` — eddy + symmetric hash join module over both scans.
         ``hybrid`` — SteMs with both T access methods and the benefit policy,
         which starts index-heavy and drifts to the hash-join behaviour.
+
+    ``batch_size`` selects the eddy's routing batch (1 = the paper's
+    per-tuple routing) and applies to all three approaches.
     """
     make = lambda: q4_workload(rows, r_scan_rate, t_scan_rate, t_index_latency, seed)
     report = ExperimentReport("figure8", make())
@@ -156,6 +170,7 @@ def run_figure8(
                 lookup_latency=t_index_latency,
             )
         ],
+        batch_size=batch_size,
     )
 
     hash_workload = make()
@@ -163,6 +178,7 @@ def run_figure8(
         hash_workload.query,
         hash_workload.catalog,
         plan=[JoinSpec(kind="shj", left=("R",), right="T")],
+        batch_size=batch_size,
     )
 
     hybrid_workload = make()
@@ -170,6 +186,7 @@ def run_figure8(
         hybrid_workload.query,
         hybrid_workload.catalog,
         policy=BenefitPolicy(exploration=exploration),
+        batch_size=batch_size,
     )
     report.notes["shape"] = (
         "index join wins early; hash join wins overall; the hybrid tracks the "

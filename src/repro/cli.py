@@ -46,8 +46,8 @@ def demo_catalog() -> Catalog:
     return catalog
 
 
-def _print_figure7() -> None:
-    report = run_figure7()
+def _print_figure7(batch_size: int = 1) -> None:
+    report = run_figure7(batch_size=batch_size)
     end = report.results["index-join"].completion_time
     times = [end * f for f in (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)]
     print("Figure 7(i): results over virtual time")
@@ -58,8 +58,8 @@ def _print_figure7() -> None:
     print(comparison_summary(index_probe_series(report), times))
 
 
-def _print_figure8() -> None:
-    report = run_figure8()
+def _print_figure8(batch_size: int = 1) -> None:
+    report = run_figure8(batch_size=batch_size)
     series = {name: result.output_series for name, result in report.results.items()}
     print("Figure 8(i): first 30 virtual seconds")
     print(comparison_summary(series, [5, 10, 15, 20, 25, 30]))
@@ -85,7 +85,13 @@ def _print_extensions() -> None:
 
 
 def _run_query(args: argparse.Namespace) -> None:
-    result = execute(args.sql, demo_catalog(), engine=args.engine, policy=args.policy)
+    result = execute(
+        args.sql,
+        demo_catalog(),
+        engine=args.engine,
+        policy=args.policy,
+        batch_size=args.batch_size,
+    )
     print(result.summary())
     if result.completion_time:
         for fraction in (0.25, 0.5, 0.75, 1.0):
@@ -102,8 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="SteMs / adaptive query processing reproduction (ICDE 2003)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("figure7", help="regenerate paper Figure 7")
-    subparsers.add_parser("figure8", help="regenerate paper Figure 8")
+    batch_help = (
+        "tuples the eddy routes per simulator event (1 = per-tuple routing; "
+        ">1 batches by routing signature)"
+    )
+    figure7_parser = subparsers.add_parser("figure7", help="regenerate paper Figure 7")
+    figure7_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
+    figure8_parser = subparsers.add_parser("figure8", help="regenerate paper Figure 8")
+    figure8_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
     subparsers.add_parser("extensions", help="run the extension experiments")
     query_parser = subparsers.add_parser("query", help="run a query on the demo catalog")
     query_parser.add_argument("sql", help="SELECT ... FROM ... WHERE ... text")
@@ -113,15 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=["benefit", "naive", "lottery", "random"])
     query_parser.add_argument("--show-rows", type=int, default=0,
                               help="print the first N result rows")
+    query_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure7":
-        _print_figure7()
+        _print_figure7(batch_size=args.batch_size)
     elif args.command == "figure8":
-        _print_figure8()
+        _print_figure8(batch_size=args.batch_size)
     elif args.command == "extensions":
         _print_extensions()
     elif args.command == "query":

@@ -91,8 +91,54 @@ class ConstraintChecker:
         self.index_ams = {alias: tuple(ams) for alias, ams in index_ams.items()}
         self.scan_aliases = frozenset(scan_aliases)
         self.max_visits = max_visits
+        #: Destination-signature cache: routing signature -> legal
+        #: destinations.  Valid because destination legality is a pure
+        #: function of the signature given the (static) module structure; the
+        #: cache is dropped whenever module liveness changes (see
+        #: :meth:`notice_liveness_change`) so future liveness-dependent rules
+        #: stay safe.
+        self._destination_cache: dict[tuple, tuple[Destination, ...]] = {}
+        self.cache_stats: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+        }
 
     # -- destination computation -----------------------------------------------
+
+    def destinations_for_signature(
+        self, signature: tuple, exemplar: QTuple
+    ) -> list[Destination]:
+        """Legal destinations for all tuples sharing a routing signature.
+
+        ``exemplar`` is any tuple with that signature; its destinations are
+        computed once and memoized, so the batched eddy resolves each
+        signature group with at most one full constraint evaluation.
+        """
+        cached = self._destination_cache.get(signature)
+        if cached is not None:
+            self.cache_stats["hits"] += 1
+            return list(cached)
+        result = self.destinations(exemplar)
+        if exemplar.failed:
+            # The failed flag is not part of the routing signature (failed
+            # tuples never reach routing); never cache a failed exemplar's
+            # empty list under a signature live tuples share.
+            return result
+        self.cache_stats["misses"] += 1
+        self._destination_cache[signature] = tuple(result)
+        return result
+
+    def notice_liveness_change(self) -> None:
+        """Drop the destination cache: a module's liveness changed.
+
+        Called (through the eddy) when a scan finishes or a SteM seals.
+        Today's Table 2 rules are liveness-independent, so this is purely
+        defensive — but it keeps the cache correct if liveness-aware rules
+        (e.g. retiring probes early once a source is known dead) are added.
+        """
+        self.cache_stats["invalidations"] += 1
+        self._destination_cache.clear()
 
     def destinations(self, tuple_: QTuple) -> list[Destination]:
         """All legal destinations for the tuple, required ones first."""

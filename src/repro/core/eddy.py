@@ -16,11 +16,26 @@ The eddy here is deliberately *mechanism only*:
   destinations;
 * the eddy executes the choices on the discrete-event simulator, handles
   module backpressure, collects outputs, and detects termination.
+
+With ``batch_size > 1`` the eddy additionally *amortises* routing: each
+simulator event drains up to ``batch_size`` ready tuples, groups them by
+routing signature (:meth:`~repro.core.tuples.QTuple.routing_signature`),
+resolves legal destinations once per signature (memoized by the
+:class:`~repro.core.constraints.ConstraintChecker` until module liveness
+changes), and asks the policy for one decision per group via
+:meth:`~repro.core.policies.base.RoutingPolicy.choose_batch`.  Routing
+remains semantically per-tuple — visit bookkeeping, strict validation and
+tracing are still applied to every tuple — so a *complete* run produces a
+result set identical to per-tuple routing.  Intermediate timing does
+change: a batch is delivered at one event time and stochastic policies
+draw their RNG once per group, so output timestamps (and hence the
+partial results of a run truncated with ``until=``) may differ slightly.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
@@ -69,6 +84,15 @@ class Eddy:
             :class:`RoutingViolationError` on violations (useful for testing
             custom policies; adds overhead).
         max_routing_steps: safety bound on total routing decisions.
+        batch_size: maximum ready tuples drained per routing event.  With
+            the default of 1 the eddy routes exactly like the paper's
+            per-tuple eddy.  With a larger batch each ``eddy:route`` event
+            drains up to ``batch_size`` tuples, groups them by routing
+            signature (see :meth:`QTuple.routing_signature`), resolves the
+            legal destinations once per signature group, and charges one
+            ``route_cost`` per *decision* (per group) instead of per tuple —
+            the amortisation that makes routing overhead sublinear in the
+            tuple rate under heavy traffic.
     """
 
     def __init__(
@@ -80,7 +104,10 @@ class Eddy:
         strict_constraints: bool = False,
         max_routing_steps: int = 10_000_000,
         trace: TraceLog | None = None,
+        batch_size: int = 1,
     ):
+        if batch_size < 1:
+            raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
         self.sim = simulator
         self.policy = policy
         self.resolver = resolver
@@ -88,10 +115,15 @@ class Eddy:
         self.strict_constraints = strict_constraints
         self.max_routing_steps = max_routing_steps
         self.trace = trace
+        self.batch_size = batch_size
 
         self._ready: BoundedQueue[Routable] = BoundedQueue(None, name="eddy")
-        self._blocked: dict[str, list[Routable]] = {}
+        self._blocked: dict[str, deque[Routable]] = {}
         self._routing_scheduled = False
+        #: Virtual time before which no routing event may fire: the routing
+        #: CPU is considered busy until the last batch's per-decision charge
+        #: has elapsed, even across moments when the ready queue runs dry.
+        self._route_not_before = 0.0
         self._timestamps = itertools.count(1)
         #: User-interest preference predicates (paper §4.1): not filters,
         #: they only raise the priority of matching tuples so policies can
@@ -115,10 +147,13 @@ class Eddy:
         self.partial_series: dict[frozenset[str], list[float]] = {}
         self.stats: dict[str, int] = {
             "routings": 0,
+            "route_events": 0,
+            "route_decisions": 0,
             "retired": 0,
             "dropped_failed": 0,
             "eots_routed": 0,
             "blocked_offers": 0,
+            "liveness_changes": 0,
         }
 
     # -- module registration -----------------------------------------------------
@@ -214,10 +249,21 @@ class Eddy:
         """Retry offers that were blocked on the module's full queue."""
         blocked = self._blocked.get(module.name)
         while blocked and not module.queue.is_full:
-            item = blocked.pop(0)
+            item = blocked.popleft()
             if not module.offer(item):
-                blocked.insert(0, item)
+                blocked.appendleft(item)
                 break
+
+    def notice_liveness_change(self) -> None:
+        """A module's liveness changed (a scan finished, a SteM sealed).
+
+        Invalidates the resolver's destination-signature cache, if it keeps
+        one.
+        """
+        self.stats["liveness_changes"] += 1
+        invalidate = getattr(self.resolver, "notice_liveness_change", None)
+        if invalidate is not None:
+            invalidate()
 
     # -- execution ------------------------------------------------------------------
 
@@ -236,24 +282,85 @@ class Eddy:
         if self._routing_scheduled or self._ready.is_empty:
             return
         self._routing_scheduled = True
-        self.sim.schedule(self.costs.route_cost, self._route_next, label="eddy:route")
+        time = max(self.now + self.costs.route_cost, self._route_not_before)
+        self.sim.schedule_at(time, self._route_next, label="eddy:route")
 
     def _route_next(self) -> None:
         self._routing_scheduled = False
         if self._ready.is_empty:
             return
-        item = self._ready.pop()
-        self.stats["routings"] += 1
+        batch: list[Routable] = [self._ready.pop()]
+        while len(batch) < self.batch_size and not self._ready.is_empty:
+            batch.append(self._ready.pop())
+        self.stats["route_events"] += 1
+        self.stats["routings"] += len(batch)
         if self.stats["routings"] > self.max_routing_steps:
             raise ExecutionError(
                 f"exceeded {self.max_routing_steps} routing steps; "
                 "likely an infinite routing loop"
             )
-        if isinstance(item, EOTTuple):
-            self._route_eot(item)
-        else:
-            self._route_tuple(item)
+        decisions = self._route_batch(batch)
+        self.stats["route_decisions"] += decisions
+        # The batch consumed one route_cost per decision of virtual CPU
+        # time; charge it by keeping the routing CPU busy until it has
+        # elapsed — also across queue-empty gaps — preserving per-decision
+        # virtual-time semantics (with batch_size=1 this is exactly the
+        # per-tuple eddy's cadence).
+        self._route_not_before = self.now + self.costs.route_cost * max(decisions, 1)
         self._schedule_routing()
+
+    def _route_batch(self, batch: Sequence[Routable]) -> int:
+        """Route one drained batch; return the number of routing decisions.
+
+        QTuples are grouped by routing signature; each group is one decision
+        (EOTs are routed individually).  Within a group and across groups the
+        drain order is preserved, so batch_size=1 degenerates to the
+        original per-tuple router.
+        """
+        if len(batch) == 1:
+            # Fast path: no grouping to do, and the signature is only worth
+            # computing when the resolver keeps a signature cache.
+            item = batch[0]
+            if isinstance(item, EOTTuple):
+                self._route_eot(item)
+                return 1
+            if item.failed:
+                self.stats["dropped_failed"] += 1
+                return 0
+            signature: tuple | None = None
+            if getattr(self.resolver, "destinations_for_signature", None) is not None:
+                signature = item.routing_signature()
+            self._route_group(signature, [item])
+            return 1
+        pending: list[EOTTuple | tuple[tuple, list[QTuple]]] = []
+        groups: dict[tuple, list[QTuple]] = {}
+        for item in batch:
+            if isinstance(item, EOTTuple):
+                # An EOT is an ordering barrier: tuples drained after it may
+                # not coalesce into groups routed before it (their probes
+                # must observe the post-EOT module state, as per-tuple
+                # routing would).
+                pending.append(item)
+                groups = {}
+                continue
+            if item.failed:
+                self.stats["dropped_failed"] += 1
+                continue
+            signature = item.routing_signature()
+            group = groups.get(signature)
+            if group is None:
+                group = groups[signature] = []
+                pending.append((signature, group))
+            group.append(item)
+        decisions = 0
+        for entry in pending:
+            decisions += 1
+            if isinstance(entry, EOTTuple):
+                self._route_eot(entry)
+            else:
+                signature, group = entry
+                self._route_group(signature, group)
+        return decisions
 
     def _route_eot(self, eot: EOTTuple) -> None:
         self.stats["eots_routed"] += 1
@@ -261,38 +368,60 @@ class Eddy:
         if stem is not None:
             self._deliver(stem, eot)
 
-    def _route_tuple(self, tuple_: QTuple) -> None:
+    def _route_group(self, signature: tuple | None, group: list[QTuple]) -> None:
+        """Route one signature group with a single destination resolution."""
         assert self.resolver is not None, "no destination resolver attached"
-        if tuple_.failed:
-            self.stats["dropped_failed"] += 1
+        if self.resolver.ready_for_output(group[0]):
+            # Output readiness is signature-pure (span + done bits).
+            for tuple_ in group:
+                self._emit(tuple_)
             return
-        if self.resolver.ready_for_output(tuple_):
-            self._emit(tuple_)
-            return
-        destinations = self.resolver.destinations(tuple_)
+        destinations = self._destinations_for(signature, group[0])
         if not destinations:
-            self._retire(tuple_)
-            return
-        choice = self.policy.choose(tuple_, destinations, self)
-        if choice is None:
-            required = [d for d in destinations if d.required]
-            if required:
-                # Policies may not decline required work.
-                choice = required[0]
-            else:
+            for tuple_ in group:
                 self._retire(tuple_)
-                return
-        if self.strict_constraints and isinstance(self.resolver, ConstraintChecker):
-            self.resolver.validate(tuple_, choice)
-        if self.trace is not None:
-            self.trace.record(self.now, "route", (tuple_.tuple_id, choice.module.name))
-        tuple_.record_visit(choice.module.name)
-        self._deliver(choice.module, tuple_)
+            return
+        choices = self.policy.choose_batch(group, destinations, self)
+        if len(choices) != len(group):
+            raise ExecutionError(
+                f"policy {self.policy.name!r} returned {len(choices)} choices "
+                f"for a signature group of {len(group)} tuples"
+            )
+        required = [d for d in destinations if d.required]
+        for tuple_, choice in zip(group, choices):
+            if choice is None:
+                if required:
+                    # Policies may not decline required work.
+                    choice = required[0]
+                else:
+                    self._retire(tuple_)
+                    continue
+            if self.strict_constraints and isinstance(self.resolver, ConstraintChecker):
+                self.resolver.validate(tuple_, choice)
+            if self.trace is not None:
+                self.trace.record(
+                    self.now, "route", (tuple_.tuple_id, choice.module.name)
+                )
+            tuple_.record_visit(choice.module.name)
+            self._deliver(choice.module, tuple_)
+
+    def _destinations_for(
+        self, signature: tuple | None, exemplar: QTuple
+    ) -> list[Destination]:
+        """Resolve legal destinations, through the signature cache if any.
+
+        ``signature`` is None only on the single-tuple fast path with a
+        cache-less resolver, where it would go unused.
+        """
+        resolve = getattr(self.resolver, "destinations_for_signature", None)
+        if resolve is not None and signature is not None:
+            return resolve(signature, exemplar)
+        return self.resolver.destinations(exemplar)
 
     def _deliver(self, module: Module, item: Routable) -> None:
         if not module.offer(item):
             self.stats["blocked_offers"] += 1
-            self._blocked.setdefault(module.name, []).append(item)
+            self._blocked.setdefault(module.name, deque()).append(item)
 
     def _emit(self, tuple_: QTuple) -> None:
         self.outputs.append(OutputRecord(self.now, tuple_))

@@ -86,6 +86,11 @@ class ScanAMModule(Module):
     def _deliver_eot(self) -> None:
         assert self.runtime is not None
         self.finished = True
+        notice = getattr(self.runtime, "notice_liveness_change", None)
+        if notice is not None:
+            # The scan finishing is a liveness change: destination caches
+            # keyed on routing signatures must be invalidated.
+            notice()
         eot = EOTTuple(table=self.table.name, alias=self.alias, am_name=self.name)
         self.runtime.to_eddy(eot, source=self)
 

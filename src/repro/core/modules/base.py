@@ -47,6 +47,11 @@ class EddyRuntime(Protocol):
     def notify_idle(self, module: "Module") -> None:
         """Tell the eddy that the module freed queue space / went idle."""
 
+    def notice_liveness_change(self) -> None:
+        """Tell the eddy that module liveness changed (scan finished, SteM
+        sealed): destination-signature caches must be invalidated.  Modules
+        invoke this defensively (older runtimes may not implement it)."""
+
 
 class Module(ABC):
     """Base class of all eddy-routable modules.

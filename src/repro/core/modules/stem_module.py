@@ -68,6 +68,12 @@ class SteMModule(Module):
         assert self.runtime is not None
         if isinstance(item, EOTTuple):
             self.stem.build_eot(item)
+            if item.is_scan_eot:
+                # The SteM is now sealed (it provably holds the whole
+                # table): a liveness change for destination caches.
+                notice = getattr(self.runtime, "notice_liveness_change", None)
+                if notice is not None:
+                    notice()
             return []
         assert isinstance(item, QTuple)
         if self._is_build(item):

@@ -46,6 +46,31 @@ class RoutingPolicy(ABC):
             required remains (it never drops required work on a None).
         """
 
+    def choose_batch(
+        self,
+        tuples: Sequence[QTuple],
+        destinations: Sequence[Destination],
+        eddy: "Eddy",
+    ) -> list[Destination | None]:
+        """Pick destinations for a whole signature group of tuples.
+
+        All tuples in the group share one routing signature, and therefore
+        one legal-destination list.  The default implementation falls back
+        to one :meth:`choose` call per tuple, so existing policies work
+        unchanged under the batched eddy; policies that can amortise their
+        decision (one lottery draw, one benefit/cost ranking) override this.
+
+        Args:
+            tuples: the signature group (never empty).
+            destinations: the group's legal destinations (never empty).
+            eddy: the running eddy.
+
+        Returns:
+            One destination (or None, declining the optional work) per
+            tuple, in order.
+        """
+        return [self.choose(tuple_, destinations, eddy) for tuple_ in tuples]
+
     def on_output(self, tuple_: QTuple, eddy: "Eddy") -> None:
         """Hook called when a result tuple is emitted (for learning policies)."""
 

@@ -93,6 +93,21 @@ class LotteryPolicy(RoutingPolicy):
         self.credit(pool[-1].module.name)
         return pool[-1]
 
+    def choose_batch(
+        self, tuples: Sequence[QTuple], destinations: Sequence[Destination], eddy
+    ) -> list[Destination | None]:
+        """One ticket draw per signature group (the batched-eddy amortisation).
+
+        The whole group follows a single lottery winner.  ``choose`` already
+        credits the winner one ticket; topping it up to one per consumed
+        tuple keeps the feedback signal the same magnitude as per-tuple
+        draws.
+        """
+        winner = self.choose(tuples[0], destinations, eddy)
+        if winner is not None and len(tuples) > 1:
+            self.credit(winner.module.name, float(len(tuples) - 1))
+        return [winner] * len(tuples)
+
     def on_output(self, tuple_: QTuple, eddy) -> None:
         # Producing final results is good: reward the source module lightly.
         if tuple_.source:

@@ -156,6 +156,35 @@ class QTuple:
         """True if the tuple spans every alias given."""
         return frozenset(aliases) <= self.aliases
 
+    def routing_signature(self) -> tuple:
+        """The tuple's routing signature: the grouping key of the batched eddy.
+
+        Two tuples with equal signatures are indistinguishable to the
+        destination resolver and to the shipped routing policies: they have
+        the *same* legal-destination list and receive the same (batch)
+        routing decision.  The signature therefore captures every TupleState
+        field that legal-destination computation and policy scoring consult —
+        but *not* the component values: destination legality is
+        value-independent, because index bindability only depends on which
+        aliases the tuple spans (a bind column is either equated to a column
+        of a spanned alias or to a constant).
+
+        The last element is the tuple's *priority class* (prioritised or
+        not): policy scores scale multiplicatively with the priority value,
+        so the argmax over destinations only depends on the class.
+        """
+        return (
+            frozenset(self.components),
+            frozenset(self.done),
+            frozenset(self.visits.items()),
+            frozenset(self.built),
+            frozenset(self.resolved),
+            frozenset(self.exhausted),
+            self.stop_stem_probes,
+            self.probe_completion_alias,
+            self.priority > 0.0,
+        )
+
     def identity(self) -> tuple:
         """A hashable identity over (alias, table, values) of all components.
 

@@ -28,6 +28,7 @@ def execute(
     plan: Sequence[JoinSpec] | None = None,
     until: float | None = None,
     strict_constraints: bool = False,
+    batch_size: int = 1,
 ) -> ExecutionResult:
     """Execute a select-project-join query and return its results and metrics.
 
@@ -44,6 +45,9 @@ def execute(
         until: stop the simulation at this virtual time (adaptive engines).
         strict_constraints: validate every routing decision against the
             paper's Table 2 constraints (``stems`` engine only).
+        batch_size: ready tuples the eddy drains per routing event (adaptive
+            engines; 1 = the paper's per-tuple routing, >1 enables
+            signature-batched routing with the destination cache).
 
     Returns:
         An :class:`~repro.engine.results.ExecutionResult`.
@@ -57,11 +61,12 @@ def execute(
             cost_model=cost_model,
             until=until,
             strict_constraints=strict_constraints,
+            batch_size=batch_size,
         )
     if engine == "eddy-joins":
         return run_eddy_joins(
             parsed, catalog, plan=plan, policy=None if policy == "benefit" else policy,
-            cost_model=cost_model, until=until,
+            cost_model=cost_model, until=until, batch_size=batch_size,
         )
     if engine == "static":
         return run_static(parsed, catalog)

@@ -140,6 +140,8 @@ class EddyJoinsEngine:
         policy: routing policy (the default naive policy reproduces the
             original architecture, whose only freedom is module order).
         cost_model: virtual-time cost model.
+        batch_size: ready tuples drained per eddy routing event (1 =
+            per-tuple routing; >1 enables signature-batched routing).
     """
 
     def __init__(
@@ -149,6 +151,7 @@ class EddyJoinsEngine:
         plan: Sequence[JoinSpec] | None = None,
         policy: RoutingPolicy | str | None = None,
         cost_model: CostModel | None = None,
+        batch_size: int = 1,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
         self.catalog = catalog
@@ -161,7 +164,9 @@ class EddyJoinsEngine:
             self.policy = policy
         self.plan = list(plan) if plan is not None else default_join_plan(self.query, catalog)
         self.simulator = Simulator()
-        self.eddy = Eddy(self.simulator, self.policy, cost_model=self.costs)
+        self.eddy = Eddy(
+            self.simulator, self.policy, cost_model=self.costs, batch_size=batch_size
+        )
         self._index_join_modules: list[IndexJoinModule] = []
         self._build_modules()
 
@@ -264,7 +269,15 @@ def run_eddy_joins(
     policy: RoutingPolicy | str | None = None,
     cost_model: CostModel | None = None,
     until: float | None = None,
+    batch_size: int = 1,
 ) -> ExecutionResult:
     """Convenience wrapper: build an :class:`EddyJoinsEngine` and run it."""
-    engine = EddyJoinsEngine(query, catalog, plan=plan, policy=policy, cost_model=cost_model)
+    engine = EddyJoinsEngine(
+        query,
+        catalog,
+        plan=plan,
+        policy=policy,
+        cost_model=cost_model,
+        batch_size=batch_size,
+    )
     return engine.run(until=until)

@@ -46,6 +46,8 @@ class StemsEngine:
         strict_constraints: validate every routing decision (slower).
         stem_index_kind: index implementation inside SteMs.
         stem_max_size: optional SteM size bound (sliding-window eviction).
+        batch_size: ready tuples drained per eddy routing event (1 =
+            per-tuple routing; >1 enables signature-batched routing).
     """
 
     def __init__(
@@ -58,6 +60,7 @@ class StemsEngine:
         stem_index_kind: str = "hash",
         stem_max_size: int | None = None,
         preferences: Sequence = (),
+        batch_size: int = 1,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
         self.catalog = catalog
@@ -75,6 +78,7 @@ class StemsEngine:
             self.policy,
             cost_model=self.costs,
             strict_constraints=strict_constraints,
+            batch_size=batch_size,
         )
         self.eddy.preferences = list(preferences)
         self._build_modules()
@@ -153,6 +157,9 @@ class StemsEngine:
         module_stats = {
             name: dict(module.stats) for name, module in self.eddy.modules.items()
         }
+        resolver = self.eddy.resolver
+        if isinstance(resolver, ConstraintChecker):
+            module_stats["destination-cache"] = dict(resolver.cache_stats)
         return ExecutionResult(
             engine="stems",
             query_name=self.query.name,
@@ -185,6 +192,7 @@ def run_stems(
     until: float | None = None,
     strict_constraints: bool = False,
     preferences: Sequence = (),
+    batch_size: int = 1,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`StemsEngine` and run it."""
     engine = StemsEngine(
@@ -194,5 +202,6 @@ def run_stems(
         cost_model=cost_model,
         strict_constraints=strict_constraints,
         preferences=preferences,
+        batch_size=batch_size,
     )
     return engine.run(until=until)
