@@ -17,16 +17,20 @@ from repro.bench.report import (
     sparkline,
 )
 from repro.bench.workloads import (
+    MultiQueryWorkload,
     Workload,
     competitive_ams_workload,
     cyclic_workload,
     prioritized_workload,
     q1_workload,
     q4_workload,
+    shared_tables_mixed_workload,
+    staggered_fleet_workload,
 )
 
 __all__ = [
     "ExperimentReport",
+    "MultiQueryWorkload",
     "Workload",
     "comparison_summary",
     "competitive_ams_workload",
@@ -35,6 +39,8 @@ __all__ = [
     "prioritized_workload",
     "q1_workload",
     "q4_workload",
+    "shared_tables_mixed_workload",
+    "staggered_fleet_workload",
     "run_competitive_ams",
     "run_figure7",
     "run_figure8",

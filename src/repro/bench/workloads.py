@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.multi import QueryAdmission
 from repro.query.parser import parse_query
 from repro.query.predicates import selection
 from repro.query.query import Query
@@ -239,4 +240,132 @@ def prioritized_workload(
             "t_index_latency": t_index_latency,
         },
         preferences=(preference,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-query workloads (paper §2.1.4: SteM sharing across concurrent queries).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MultiQueryWorkload:
+    """A multi-query workload: one catalog, N staggered query admissions.
+
+    Attributes:
+        name: workload name.
+        catalog: the shared catalog (all admissions read from it).
+        admissions: the :class:`~repro.engine.multi.QueryAdmission` list, in
+            admission order with increasing ``arrival_time``.
+        parameters: descriptive parameters for reports.
+    """
+
+    name: str
+    catalog: Catalog
+    admissions: tuple[QueryAdmission, ...]
+    parameters: dict
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiQueryWorkload({self.name}, {len(self.admissions)} queries, "
+            f"{self.parameters})"
+        )
+
+
+def staggered_fleet_workload(
+    n_queries: int = 8,
+    stagger: float = 4.0,
+    rows: int = 250,
+    r_scan_rate: float = 40.0,
+    t_scan_rate: float = 25.0,
+    t_index_latency: float = 0.2,
+    policy: str = "naive",
+    seed: int = 0,
+) -> MultiQueryWorkload:
+    """N staggered R⨝T queries over one catalog, with varied selections.
+
+    The continuous-query scenario of the paper's §2.1.4 sharing argument:
+    queries arrive ``stagger`` virtual seconds apart, all join R and T on
+    ``key``, and each applies its own selectivity cutoff on ``R.a`` (the
+    earlier the query, the tighter the cut), so per-query result sets
+    differ while every query's builds populate the same pair of SteMs.
+    The last admission has no selection at all — it reads both tables in
+    full, the best case for arriving onto already-sealed shared SteMs.
+    """
+    catalog = Catalog()
+    distinct_a = max(rows // 4, 1)
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    catalog.add_scan("R", rate=r_scan_rate)
+    catalog.add_scan("T", rate=t_scan_rate)
+    catalog.add_index("T", ["key"], latency=t_index_latency)
+    admissions = []
+    for position in range(n_queries):
+        if position == n_queries - 1:
+            sql = "SELECT * FROM R, T WHERE R.key = T.key"
+        else:
+            cutoff = max(1, (distinct_a * (position + 1)) // n_queries)
+            sql = f"SELECT * FROM R, T WHERE R.key = T.key AND R.a < {cutoff}"
+        admissions.append(
+            QueryAdmission(
+                query=parse_query(sql, name=f"fleet-{position}"),
+                query_id=f"q{position}",
+                policy=policy,
+                arrival_time=stagger * position,
+            )
+        )
+    return MultiQueryWorkload(
+        name="staggered_fleet",
+        catalog=catalog,
+        admissions=tuple(admissions),
+        parameters={
+            "n_queries": n_queries,
+            "stagger": stagger,
+            "rows": rows,
+            "policy": policy,
+        },
+    )
+
+
+def shared_tables_mixed_workload(
+    rows: int = 200,
+    stagger: float = 3.0,
+    policy: str = "naive",
+    seed: int = 0,
+) -> MultiQueryWorkload:
+    """Queries with *partially* overlapping table sets over one catalog.
+
+    Three query shapes — R⨝T, R⨝S, and the full R⨝S⨝T chain — so the R SteM
+    is shared by every query, while S and T are each shared by two of the
+    three.  Exercises the registry's per-table (rather than per-run)
+    sharing decisions.
+    """
+    catalog = Catalog()
+    distinct_a = max(rows // 4, 1)
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_s(distinct_a))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    catalog.add_scan("R", rate=50.0)
+    catalog.add_scan("T", rate=40.0)
+    catalog.add_scan("S", rate=60.0)
+    catalog.add_index("S", ["x"], latency=0.3)
+    catalog.add_index("T", ["key"], latency=0.2)
+    shapes = (
+        ("rt", "SELECT * FROM R, T WHERE R.key = T.key"),
+        ("rs", "SELECT * FROM R, S WHERE R.a = S.x"),
+        ("rst", "SELECT * FROM R, S, T WHERE R.a = S.x AND R.key = T.key"),
+    )
+    admissions = tuple(
+        QueryAdmission(
+            query=parse_query(sql, name=name),
+            query_id=name,
+            policy=policy,
+            arrival_time=stagger * position,
+        )
+        for position, (name, sql) in enumerate(shapes)
+    )
+    return MultiQueryWorkload(
+        name="shared_tables_mixed",
+        catalog=catalog,
+        admissions=admissions,
+        parameters={"rows": rows, "stagger": stagger, "policy": policy},
     )

@@ -7,6 +7,8 @@ Usage::
     python -m repro extensions              # competitive AMs / spanning tree / priorities
     python -m repro query "SELECT * FROM R, T WHERE R.key = T.key" \
         --engine stems --policy benefit     # run a query on the built-in demo catalog
+    python -m repro multi --queries 8 --stagger 4.0
+                                            # N staggered queries over shared SteMs
 
 The demo catalog used by ``query`` is the paper's Table 3 trio (R, S, T) with
 a scan on R, index AMs on S, and both a scan and an index on T.
@@ -27,7 +29,9 @@ from repro.bench.experiments import (
     run_spanning_tree,
 )
 from repro.bench.report import comparison_summary
+from repro.bench.workloads import staggered_fleet_workload
 from repro.engine.api import execute
+from repro.engine.multi import run_multi
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_s, make_source_t
 
@@ -84,6 +88,38 @@ def _print_extensions() -> None:
           f"{prioritized.notes['mean_priority_output_time[prioritized]']}s")
 
 
+def _run_multi(args: argparse.Namespace) -> None:
+    workload = staggered_fleet_workload(
+        n_queries=args.queries,
+        stagger=args.stagger,
+        rows=args.rows,
+        policy=args.policy,
+    )
+    result = run_multi(
+        workload.admissions,
+        workload.catalog,
+        shared_stems=not args.private_stems,
+        batch_size=args.batch_size,
+    )
+    print(result.summary())
+    if not args.private_stems and not args.no_baseline:
+        # Show the sharing win against the private-SteM baseline.
+        baseline = run_multi(
+            workload.admissions,
+            workload.catalog,
+            shared_stems=False,
+            batch_size=args.batch_size,
+        )
+        shared_inserts = result.stem_totals["insertions"]
+        private_inserts = baseline.stem_totals["insertions"]
+        print(
+            f"Shared vs private SteMs: {shared_inserts} vs {private_inserts} "
+            f"insertions ({private_inserts / max(shared_inserts, 1):.1f}x saved), "
+            f"results identical: "
+            f"{result.same_results(baseline)}"
+        )
+
+
 def _run_query(args: argparse.Namespace) -> None:
     result = execute(
         args.sql,
@@ -126,6 +162,25 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--show-rows", type=int, default=0,
                               help="print the first N result rows")
     query_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
+    multi_parser = subparsers.add_parser(
+        "multi",
+        help="run N staggered queries concurrently over shared SteMs (§2.1.4)",
+    )
+    multi_parser.add_argument("--queries", type=int, default=8,
+                              help="number of concurrent queries to admit")
+    multi_parser.add_argument("--stagger", type=float, default=4.0,
+                              help="virtual seconds between query arrivals")
+    multi_parser.add_argument("--rows", type=int, default=250,
+                              help="rows per base table")
+    multi_parser.add_argument("--policy", default="naive",
+                              choices=["benefit", "naive", "lottery", "random"])
+    multi_parser.add_argument("--private-stems", action="store_true",
+                              help="give every query private SteMs (the ablation "
+                                   "baseline) instead of sharing per table")
+    multi_parser.add_argument("--no-baseline", action="store_true",
+                              help="skip the private-SteM comparison run (which "
+                                   "otherwise doubles the simulation work)")
+    multi_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
     return parser
 
 
@@ -139,6 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_extensions()
     elif args.command == "query":
         _run_query(args)
+    elif args.command == "multi":
+        _run_multi(args)
     return 0
 
 

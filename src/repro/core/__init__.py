@@ -9,6 +9,7 @@ from repro.core.modules import (
     Module,
     ScanAMModule,
     SelectionModule,
+    SharedSteMModule,
     SteMModule,
     SymmetricHashJoinModule,
 )
@@ -22,7 +23,15 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.stem import BuildOutcome, ProbeOutcome, SteM
-from repro.core.tuples import UNBUILT, EOTTuple, QTuple, singleton_tuple
+from repro.core.stem_registry import SteMRegistry
+from repro.core.tuples import (
+    UNBUILT,
+    EOTTuple,
+    QTuple,
+    TupleIdAllocator,
+    install_id_allocator,
+    singleton_tuple,
+)
 
 __all__ = [
     "BenefitPolicy",
@@ -45,12 +54,16 @@ __all__ = [
     "RoutingPolicy",
     "ScanAMModule",
     "SelectionModule",
+    "SharedSteMModule",
     "SteM",
     "SteMModule",
+    "SteMRegistry",
     "StaticOrderPolicy",
     "SymmetricHashJoinModule",
+    "TupleIdAllocator",
     "UNBUILT",
     "ZERO_CPU_COSTS",
+    "install_id_allocator",
     "make_policy",
     "singleton_tuple",
 ]

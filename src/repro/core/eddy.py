@@ -37,7 +37,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import ExecutionError
 from repro.core.constraints import ConstraintChecker, Destination
@@ -105,6 +105,8 @@ class Eddy:
         max_routing_steps: int = 10_000_000,
         trace: TraceLog | None = None,
         batch_size: int = 1,
+        query_id: str = "",
+        timestamp_source: Iterator[int] | None = None,
     ):
         if batch_size < 1:
             raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
@@ -116,6 +118,10 @@ class Eddy:
         self.max_routing_steps = max_routing_steps
         self.trace = trace
         self.batch_size = batch_size
+        #: Identifier of the query this eddy executes.  Empty for single-
+        #: query engines; the multi-query engine names each eddy after its
+        #: admission and every tuple entering the dataflow is stamped with it.
+        self.query_id = query_id
 
         self._ready: BoundedQueue[Routable] = BoundedQueue(None, name="eddy")
         self._blocked: dict[str, deque[Routable]] = {}
@@ -124,7 +130,11 @@ class Eddy:
         #: CPU is considered busy until the last batch's per-decision charge
         #: has elapsed, even across moments when the ready queue runs dry.
         self._route_not_before = 0.0
-        self._timestamps = itertools.count(1)
+        #: Build-timestamp source.  Normally private; when SteMs are shared
+        #: across queries every participating eddy must draw from ONE source,
+        #: because the TimeStamp constraint needs a total order over builds
+        #: regardless of which query performed them.
+        self._timestamps = timestamp_source or itertools.count(1)
         #: User-interest preference predicates (paper §4.1): not filters,
         #: they only raise the priority of matching tuples so policies can
         #: favour them.
@@ -151,6 +161,7 @@ class Eddy:
             "route_decisions": 0,
             "retired": 0,
             "dropped_failed": 0,
+            "absorbed": 0,
             "eots_routed": 0,
             "blocked_offers": 0,
             "liveness_changes": 0,
@@ -231,6 +242,8 @@ class Eddy:
         """Deliver a tuple (or EOT) into the eddy's dataflow."""
         del source
         if isinstance(item, QTuple):
+            if self.query_id and not item.query_id:
+                item.query_id = self.query_id
             for preference in self.preferences:
                 if (
                     preference.priority > item.priority
@@ -253,6 +266,19 @@ class Eddy:
             if not module.offer(item):
                 blocked.appendleft(item)
                 break
+
+    def note_absorbed(self, tuple_: QTuple) -> None:
+        """A module absorbed a tuple (e.g. a duplicate build ended at a SteM).
+
+        The tuple left the dataflow without passing through routing again,
+        so the departure is accounted for here: retirement feedback for the
+        policy, and a trace record — keeping the invariant that a trace
+        accounts for every tuple that ever leaves the dataflow.
+        """
+        self.stats["absorbed"] += 1
+        self.policy.on_retire(tuple_, self)
+        if self.trace is not None:
+            self.trace.record(self.now, "absorbed", tuple_.tuple_id)
 
     def notice_liveness_change(self) -> None:
         """A module's liveness changed (a scan finished, a SteM sealed).
@@ -325,7 +351,7 @@ class Eddy:
                 self._route_eot(item)
                 return 1
             if item.failed:
-                self.stats["dropped_failed"] += 1
+                self._drop_failed(item)
                 return 0
             signature: tuple | None = None
             if getattr(self.resolver, "destinations_for_signature", None) is not None:
@@ -344,7 +370,7 @@ class Eddy:
                 groups = {}
                 continue
             if item.failed:
-                self.stats["dropped_failed"] += 1
+                self._drop_failed(item)
                 continue
             signature = item.routing_signature()
             group = groups.get(signature)
@@ -434,6 +460,18 @@ class Eddy:
         self.policy.on_retire(tuple_, self)
         if self.trace is not None:
             self.trace.record(self.now, "retire", tuple_.tuple_id)
+
+    def _drop_failed(self, tuple_: QTuple) -> None:
+        """Drop a tuple that failed a predicate, with full accounting.
+
+        Failed tuples leave the dataflow like retired ones: the policy's
+        ``on_retire`` feedback fires and the trace records the departure, so
+        a trace accounts for every tuple that ever entered the eddy.
+        """
+        self.stats["dropped_failed"] += 1
+        self.policy.on_retire(tuple_, self)
+        if self.trace is not None:
+            self.trace.record(self.now, "drop_failed", tuple_.tuple_id)
 
     # -- results ---------------------------------------------------------------------
 

@@ -50,22 +50,29 @@ class ScanAMModule(Module):
         self.stats.update({"delivered": 0, "seed_probes": 0})
 
     def start(self) -> None:
-        """Schedule every row delivery plus the final scan EOT."""
+        """Schedule every row delivery plus the final scan EOT.
+
+        Offsets are relative to the moment the module starts, so a query
+        admitted mid-simulation (multi-query staggered arrivals) streams at
+        its declared rate from its own admission time instead of burst-
+        delivering the rows it "missed".  ``stall_at`` is likewise relative
+        to the scan's start.
+        """
         assert self.runtime is not None
         rate = max(self.spec.rate, 1e-9)
-        last_time = self.spec.initial_delay
+        last_offset = self.spec.initial_delay
         for position, row in enumerate(self.table):
-            time = self.spec.initial_delay + (position + 1) / rate
-            if self.spec.stall_at is not None and time >= self.spec.stall_at:
-                time += self.spec.stall_duration
-            last_time = time
+            offset = self.spec.initial_delay + (position + 1) / rate
+            if self.spec.stall_at is not None and offset >= self.spec.stall_at:
+                offset += self.spec.stall_duration
+            last_offset = offset
             self.runtime.schedule(
-                max(0.0, time - self.runtime.now),
+                offset,
                 self._make_delivery(row),
                 label=f"{self.name}:deliver",
             )
         self.runtime.schedule(
-            max(0.0, last_time - self.runtime.now) + 1e-9,
+            last_offset + 1e-9,
             self._deliver_eot,
             label=f"{self.name}:eot",
         )

@@ -52,6 +52,12 @@ class EddyRuntime(Protocol):
         sealed): destination-signature caches must be invalidated.  Modules
         invoke this defensively (older runtimes may not implement it)."""
 
+    def note_absorbed(self, tuple_: QTuple) -> None:
+        """Tell the eddy a tuple was absorbed by a module (left the dataflow
+        without returning to routing, e.g. a duplicate build), so traces and
+        policy feedback account for the departure.  Modules invoke this
+        defensively (older runtimes may not implement it)."""
+
 
 class Module(ABC):
     """Base class of all eddy-routable modules.

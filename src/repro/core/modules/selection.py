@@ -1,8 +1,9 @@
 """Selection modules (SMs).
 
 Paper section 2.1.2: a selection module returns the tuple to the eddy if it
-passes the predicate (marking the fact in its TupleState) and removes it from
-the dataflow otherwise.
+passes the predicate (marking the fact in its TupleState); a failing tuple
+is marked ``failed`` and handed back too, so the *eddy* removes it from the
+dataflow with full accounting (trace + routing-policy feedback).
 """
 
 from __future__ import annotations
@@ -39,7 +40,11 @@ class SelectionModule(Module):
             return [item]
         item.failed = True
         self.stats["dropped"] += 1
-        return []
+        # The failed tuple goes back to the eddy, which removes it from the
+        # dataflow with full accounting (trace record + the policy's
+        # on_retire feedback) — swallowing it here would leave the drop
+        # invisible to traces and learning policies.
+        return [item]
 
     @property
     def observed_selectivity(self) -> float:

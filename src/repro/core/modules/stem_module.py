@@ -28,6 +28,13 @@ class SteMModule(Module):
             not-yet-done subset for each probe).
         build_cost: virtual seconds per build request.
         probe_cost: virtual seconds per probe request.
+        name: module name within the eddy; defaults to the SteM's name.  A
+            shared SteM is named after its table while each query's module
+            keeps the per-alias name policies and traces expect.
+        aliases: the query aliases this *module* serves; defaults to the
+            SteM's aliases.  When the SteM is shared across queries it
+            accumulates every query's aliases, so each module must restrict
+            itself to its own query's view.
     """
 
     kind = "stem"
@@ -38,9 +45,12 @@ class SteMModule(Module):
         predicates: Sequence[Predicate],
         build_cost: float = 1e-4,
         probe_cost: float = 2e-4,
+        name: str | None = None,
+        aliases: Sequence[str] | None = None,
     ):
-        super().__init__(stem.name, cost=probe_cost)
+        super().__init__(name or stem.name, cost=probe_cost)
         self.stem = stem
+        self.aliases = tuple(aliases) if aliases is not None else stem.aliases
         self.predicates = tuple(predicates)
         self.build_cost = build_cost
         self.probe_cost = probe_cost
@@ -60,7 +70,7 @@ class SteMModule(Module):
         """A singleton of this SteM's table that has not been built yet."""
         return (
             item.is_singleton
-            and item.single_alias in self.stem.aliases
+            and item.single_alias in self.aliases
             and item.single_alias not in item.built
         )
 
@@ -71,9 +81,7 @@ class SteMModule(Module):
             if item.is_scan_eot:
                 # The SteM is now sealed (it provably holds the whole
                 # table): a liveness change for destination caches.
-                notice = getattr(self.runtime, "notice_liveness_change", None)
-                if notice is not None:
-                    notice()
+                self._notice_seal()
             return []
         assert isinstance(item, QTuple)
         if self._is_build(item):
@@ -92,9 +100,16 @@ class SteMModule(Module):
             # SteM BounceBack constraint: duplicates are NOT bounced back;
             # the redundant work of a competing AM ends here.
             self.stats["duplicates"] += 1
+            self._note_absorbed(item)
             return []
         item.mark_built(alias, outcome.timestamp)
         return [item]
+
+    def _note_absorbed(self, item: QTuple) -> None:
+        """Report a tuple ending at this SteM so its departure is accounted."""
+        note = getattr(self.runtime, "note_absorbed", None)
+        if note is not None:
+            note(item)
 
     # -- probes -------------------------------------------------------------------
 
@@ -118,10 +133,11 @@ class SteMModule(Module):
             # original tuple stops probing further SteMs; its extensions
             # carry the derivation forward (keeps derivations tree-shaped).
             item.stop_stem_probes = True
-        if outcome.all_matches_known:
+        covered = self._covers_probe(item, target, outcome)
+        if covered:
             # No AM probe on the target can produce anything new.
             item.exhausted.add(target)
-        if outcome.all_matches_known or self.runtime.has_scan_am(target):
+        if covered or self.runtime.has_scan_am(target):
             # Either we already returned every match, or the scan on the
             # target table will eventually deliver the missing ones and they
             # will find this tuple in its own SteM.  No AM probe is required.
@@ -136,10 +152,27 @@ class SteMModule(Module):
         return outputs
 
     def _probe_target(self, item: QTuple) -> str | None:
-        for alias in self.stem.aliases:
+        for alias in self.aliases:
             if alias not in item.aliases:
                 return alias
         return None
+
+    def _notice_seal(self) -> None:
+        """Report the SteM sealing as a liveness change to the runtime(s)."""
+        notice = getattr(self.runtime, "notice_liveness_change", None)
+        if notice is not None:
+            notice()
+
+    def _covers_probe(self, item: QTuple, target: str, outcome) -> bool:
+        """Whether the probe outcome proves *this query* got every match.
+
+        For a private SteM the SteM's own coverage verdict is enough: any
+        match suppressed by the TimeStamp constraint was built by this same
+        query's dataflow and will be produced from the other side.  Shared
+        SteMs override this (see :class:`SharedSteMModule`).
+        """
+        del item, target
+        return outcome.all_matches_known
 
     # -- introspection --------------------------------------------------------------
 
@@ -152,3 +185,94 @@ class SteMModule(Module):
     def scan_complete(self) -> bool:
         """True once a scan EOT for the table has been built."""
         return self.stem.scan_complete
+
+
+class SharedSteMModule(SteMModule):
+    """One query's view of a SteM shared across concurrent queries.
+
+    Paper §2.1.4 argues that decoupled join state is the natural unit of
+    *sharing*, and the continuous-query systems it cites (CACQ, PSoUP) run
+    many queries over one set of SteMs.  This module gives each admitted
+    query its own eddy-facing wrapper — own name, own per-query aliases, own
+    statistics — over a :class:`~repro.core.stem.SteM` owned by a
+    :class:`~repro.core.stem_registry.SteMRegistry`.  Two behaviours differ
+    from the private wrapper:
+
+    * **Builds** are deduplicated globally by the SteM, but BounceBack is
+      per-query: a row another query inserted first must still bounce back
+      into *this* query's dataflow (carrying the shared build timestamp) or
+      this query would never probe with it.  Only a row this query has
+      already carried — a competing-AM duplicate in the paper's sense — is
+      dropped.
+    * **Coverage** is claimed per-query-safely: a shared SteM may contain
+      rows built *after* this probe tuple (timestamp-suppressed matches)
+      that were inserted by another query's dataflow and will never bounce
+      through this one.  Unless this query's own scan re-delivers them, the
+      probe must not be marked exhausted, so the AM-probe path stays open
+      and completeness is preserved.
+    """
+
+    def __init__(
+        self,
+        stem: SteM,
+        alias: str,
+        predicates: Sequence[Predicate],
+        registry=None,
+        build_cost: float = 1e-4,
+        probe_cost: float = 2e-4,
+    ):
+        super().__init__(
+            stem,
+            predicates,
+            build_cost=build_cost,
+            probe_cost=probe_cost,
+            name=f"stem:{alias}",
+            aliases=(alias,),
+        )
+        self.registry = registry
+        #: Rows this query's dataflow has already built or bounced back.
+        #: An evicted row is forgotten again (the SteM tells us), so a
+        #: re-delivered copy re-enters the dataflow instead of being
+        #: mistaken for a still-stored duplicate.  (The window itself stays
+        #: shared state: with several queries its eviction order interleaves
+        #: across queries, so bounded-SteM results are the shared window's,
+        #: not a private window's.)
+        self._carried: set = set()
+        stem.add_evict_listener(self._carried.discard)
+        self.stats.update({"shared_hits": 0})
+
+    def _handle_build(self, item: QTuple) -> list[Routable]:
+        assert self.runtime is not None
+        self.stats["builds"] += 1
+        alias = item.single_alias
+        row = item.component(alias)
+        outcome = self.stem.build(row, self.runtime.next_timestamp())
+        if row in self._carried:
+            # This query already carried the row through its dataflow: a
+            # competing-AM duplicate, ended here (SteM BounceBack).
+            self.stats["duplicates"] += 1
+            self._note_absorbed(item)
+            return []
+        self._carried.add(row)
+        if outcome.duplicate:
+            # Another query (or another alias) inserted the row first; this
+            # query's copy adopts the shared build timestamp and continues.
+            self.stats["shared_hits"] += 1
+        item.mark_built(alias, outcome.timestamp)
+        return [item]
+
+    def _covers_probe(self, item: QTuple, target: str, outcome) -> bool:
+        if not outcome.all_matches_known:
+            return False
+        # Timestamp-suppressed matches were inserted after this tuple was
+        # built.  In a shared SteM they may belong to another query's
+        # dataflow; they only reach this query if its own scan re-delivers
+        # them.  Otherwise keep the AM-probe path open.
+        return outcome.suppressed_by_timestamp == 0 or self.runtime.has_scan_am(target)
+
+    def _notice_seal(self) -> None:
+        """A shared SteM sealing is a liveness change for *every* query."""
+        if self.registry is not None:
+            self.registry.broadcast_liveness_change()
+        else:
+            super()._notice_seal()

@@ -114,6 +114,11 @@ class SteM:
         self._eot_keys: dict[tuple[str, ...], set[tuple[Any, ...]]] = {}
         self._min_timestamp: float | None = None
         self._max_timestamp: float | None = None
+        #: Callbacks invoked with each evicted row.  Sharing wrappers use
+        #: this to forget per-query bookkeeping about rows that left the
+        #: window, so a re-delivered row re-enters the dataflow instead of
+        #: being mistaken for a still-stored duplicate.
+        self._evict_listeners: list = []
         #: Operational statistics.
         self.stats: dict[str, int] = {
             "builds": 0,
@@ -123,6 +128,35 @@ class SteM:
             "evictions": 0,
             "eot_builds": 0,
         }
+
+    # -- sharing ----------------------------------------------------------------
+
+    def add_alias(self, alias: str) -> None:
+        """Register another query alias served by this SteM.
+
+        Sharing hook (paper §2.1.4 / the CACQ/PSoUP continuous-query line):
+        when one SteM per base table serves many concurrent queries, each
+        query's alias for the table must be probe-able.
+        """
+        if alias not in self.aliases:
+            self.aliases = self.aliases + (alias,)
+
+    def ensure_join_columns(self, columns: Iterable[str]) -> None:
+        """Maintain secondary indexes on additional join columns.
+
+        A later-admitted query may join on columns the SteM was not indexing
+        yet; the new index is backfilled from the rows already stored so the
+        query's probes see the full shared state.
+        """
+        for column in columns:
+            if column in self._indexes:
+                continue
+            index = build_index(self.index_kind, (column,))
+            for row in self._rows:
+                index.insert(row)
+            self._indexes[column] = index
+            if column not in self.join_columns:
+                self.join_columns = self.join_columns + (column,)
 
     # -- build ------------------------------------------------------------------
 
@@ -298,6 +332,10 @@ class SteM:
 
     # -- eviction ----------------------------------------------------------------
 
+    def add_evict_listener(self, callback) -> None:
+        """Register a callback invoked with every evicted row."""
+        self._evict_listeners.append(callback)
+
     def evict(self, row: Row) -> bool:
         """Remove a row (sliding-window / memory-pressure hook)."""
         if row not in self._rows:
@@ -309,6 +347,8 @@ class SteM:
         # Coverage may no longer hold once data has been dropped.
         self._scan_complete.clear()
         self._eot_keys.clear()
+        for listener in self._evict_listeners:
+            listener(row)
         return True
 
     def _evict_oldest(self) -> None:

@@ -1,0 +1,127 @@
+"""A registry of SteMs shared across concurrent queries.
+
+Paper §2.1.4: "SteMs on relations that are accessed by multiple queries can
+be shared" — the property the continuous-query line the paper cites (CACQ,
+PSoUP) builds on, and the reason SteMs carry the multi-alias and
+``max_size``/eviction hooks.  The registry is the multi-query engine's
+source of SteMs: one per base table, created on first use and extended
+(aliases, secondary join-column indexes) as later queries are admitted.
+
+Responsibilities:
+
+* **get-or-create** a SteM per table (:meth:`SteMRegistry.stem_for`),
+  merging every admitted query's aliases and join columns into it;
+* **liveness broadcast** — when a shared SteM seals (any query's scan EOT),
+  *every* attached eddy's destination-signature cache must be invalidated,
+  not just the eddy that routed the EOT;
+* **aggregate accounting** — how many builds actually inserted rows versus
+  arriving as cross-query duplicates, the counter the shared-vs-private
+  ablation benchmark asserts on.
+
+Self-joins stay private: a query referencing a table under two aliases needs
+two timestamp-distinct copies of each row for the TimeStamp constraint to
+produce the diagonal matches exactly once, so the engine gives such aliases
+private SteMs and shares only single-reference tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.stem import SteM
+
+
+def stem_build_totals(stems: Iterable[SteM]) -> dict[str, int]:
+    """Aggregate build/probe counters over a collection of SteMs.
+
+    ``insertions`` (builds that actually stored a row and updated the
+    indexes) is the work-saved metric of sharing: with N queries over one
+    table it stays at one table's worth, while the private configuration
+    pays it N times.
+    """
+    totals = {"builds": 0, "insertions": 0, "duplicates": 0, "probes": 0}
+    for stem in stems:
+        totals["builds"] += stem.stats["builds"]
+        totals["duplicates"] += stem.stats["duplicates"]
+        totals["insertions"] += stem.stats["builds"] - stem.stats["duplicates"]
+        totals["probes"] += stem.stats["probes"]
+    return totals
+
+
+class SteMRegistry:
+    """One shared SteM per base table, for multi-query execution.
+
+    Args:
+        index_kind: secondary-index implementation inside the SteMs.
+        max_size: optional per-SteM row bound (the CACQ/PSoUP sliding-window
+            eviction hook); ``None`` keeps everything.
+    """
+
+    def __init__(self, index_kind: str = "hash", max_size: int | None = None):
+        self.index_kind = index_kind
+        self.max_size = max_size
+        self._stems: dict[str, SteM] = {}
+        self._runtimes: list = []
+        self.stats: dict[str, int] = {"stems": 0, "attachments": 0, "broadcasts": 0}
+
+    # -- SteM management --------------------------------------------------------
+
+    def stem_for(
+        self, table: str, alias: str, join_columns: Iterable[str] = ()
+    ) -> SteM:
+        """The shared SteM for a base table, extended for one query's view.
+
+        The first query to touch a table creates its SteM (named after the
+        table, not the alias); later queries reuse it, registering their
+        alias and backfilling indexes on any new join columns.
+        """
+        stem = self._stems.get(table)
+        if stem is None:
+            stem = SteM(
+                table=table,
+                aliases=(alias,),
+                join_columns=tuple(join_columns),
+                index_kind=self.index_kind,
+                max_size=self.max_size,
+                name=f"stem:{table}",
+            )
+            self._stems[table] = stem
+            self.stats["stems"] += 1
+        else:
+            stem.add_alias(alias)
+            stem.ensure_join_columns(join_columns)
+        self.stats["attachments"] += 1
+        return stem
+
+    @property
+    def stems(self) -> dict[str, SteM]:
+        """The shared SteMs, keyed by table name."""
+        return dict(self._stems)
+
+    def __len__(self) -> int:
+        return len(self._stems)
+
+    def __contains__(self, table: object) -> bool:
+        return table in self._stems
+
+    # -- liveness broadcast ------------------------------------------------------
+
+    def attach_runtime(self, runtime) -> None:
+        """Register an eddy to receive cross-query liveness notifications."""
+        self._runtimes.append(runtime)
+
+    def broadcast_liveness_change(self) -> None:
+        """A shared SteM's liveness changed: tell every attached eddy.
+
+        A seal observed through one query's dataflow changes probe coverage
+        for *all* queries on that table, so every destination-signature
+        cache is dropped, not only the routing eddy's.
+        """
+        self.stats["broadcasts"] += 1
+        for runtime in self._runtimes:
+            notice = getattr(runtime, "notice_liveness_change", None)
+            if notice is not None:
+                notice()
+
+    def __repr__(self) -> str:
+        return f"SteMRegistry(tables={sorted(self._stems)})"

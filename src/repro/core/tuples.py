@@ -19,7 +19,6 @@ the paper prescribes, so that they can be built into SteMs alongside data.
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -33,7 +32,46 @@ from repro.storage.row import Row
 #: every match already present in a SteM.
 UNBUILT = math.inf
 
-_qtuple_ids = itertools.count(1)
+
+class TupleIdAllocator:
+    """Allocates the monotonically increasing ``tuple_id`` of each QTuple.
+
+    Tuple ids exist for tracing and debugging; they must be *reproducible*:
+    two identical runs in the same process have to assign identical ids, or
+    traces stop being comparable.  A process-global counter breaks that, so
+    every engine installs a fresh allocator at the start of each run (see
+    :func:`install_id_allocator`); code that creates tuples outside any
+    engine (unit tests, notebooks) falls back to the ambient allocator.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def allocate(self) -> int:
+        """The next tuple id."""
+        value = self._next
+        self._next += 1
+        return value
+
+
+_id_allocator = TupleIdAllocator()
+
+
+def install_id_allocator(
+    allocator: TupleIdAllocator | None = None,
+) -> TupleIdAllocator:
+    """Install (and return) the allocator new QTuples draw their ids from.
+
+    Engines call this with no argument at the start of each run, so repeated
+    runs of the same query number their tuples identically — the trace-
+    determinism guarantee regression-tested in
+    ``tests/engine/test_determinism.py``.
+    """
+    global _id_allocator
+    _id_allocator = allocator or TupleIdAllocator()
+    return _id_allocator
 
 
 class QTuple:
@@ -53,6 +91,7 @@ class QTuple:
 
     __slots__ = (
         "tuple_id",
+        "query_id",
         "components",
         "timestamps",
         "done",
@@ -77,10 +116,15 @@ class QTuple:
         source: str = "",
         priority: float = 0.0,
         created_at: float = 0.0,
+        query_id: str = "",
     ):
         if not components:
             raise ExecutionError("a QTuple needs at least one component")
-        self.tuple_id = next(_qtuple_ids)
+        self.tuple_id = _id_allocator.allocate()
+        #: The query this tuple belongs to.  Empty in single-query execution;
+        #: the multi-query engine stamps it on entry into each query's eddy
+        #: so outputs, traces and shared-SteM bookkeeping stay per-query.
+        self.query_id = query_id
         self.components: dict[str, Row] = dict(components)
         self.timestamps: dict[str, float] = {
             alias: UNBUILT for alias in self.components
@@ -261,6 +305,7 @@ class QTuple:
             source=self.source,
             priority=self.priority,
             created_at=self.created_at if created_at is None else created_at,
+            query_id=self.query_id,
         )
         result.built = set(self.built) | {alias}
         return result

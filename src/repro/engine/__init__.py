@@ -1,4 +1,5 @@
-"""Execution engines: SteMs (Figure 1(c)), eddy+joins (1(b)), static (1(a))."""
+"""Execution engines: SteMs (Figure 1(c)), eddy+joins (1(b)), static (1(a)),
+and the multi-query engine sharing SteMs across concurrent queries."""
 
 from repro.engine.api import ENGINES, execute
 from repro.engine.joins_engine import (
@@ -8,7 +9,12 @@ from repro.engine.joins_engine import (
     default_join_plan,
     run_eddy_joins,
 )
-from repro.engine.results import ExecutionResult, Series
+from repro.engine.multi import (
+    MultiQueryEngine,
+    QueryAdmission,
+    run_multi,
+)
+from repro.engine.results import ExecutionResult, MultiQueryResult, Series
 from repro.engine.static_engine import StaticEngine, choose_join_order, run_static
 from repro.engine.stems_engine import StemsEngine, run_stems
 
@@ -18,6 +24,9 @@ __all__ = [
     "ExecutionResult",
     "JoinPlanResolver",
     "JoinSpec",
+    "MultiQueryEngine",
+    "MultiQueryResult",
+    "QueryAdmission",
     "Series",
     "StaticEngine",
     "StemsEngine",
@@ -25,6 +34,7 @@ __all__ = [
     "default_join_plan",
     "execute",
     "run_eddy_joins",
+    "run_multi",
     "run_static",
     "run_stems",
 ]

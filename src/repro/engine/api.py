@@ -13,6 +13,7 @@ from repro.engine.static_engine import run_static
 from repro.engine.stems_engine import run_stems
 from repro.query.parser import parse_query
 from repro.query.query import Query
+from repro.sim.tracing import TraceLog
 from repro.storage.catalog import Catalog
 
 #: The engines selectable through :func:`execute`.
@@ -29,6 +30,7 @@ def execute(
     until: float | None = None,
     strict_constraints: bool = False,
     batch_size: int = 1,
+    trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Execute a select-project-join query and return its results and metrics.
 
@@ -48,6 +50,10 @@ def execute(
         batch_size: ready tuples the eddy drains per routing event (adaptive
             engines; 1 = the paper's per-tuple routing, >1 enables
             signature-batched routing with the destination cache).
+        trace: optional :class:`~repro.sim.tracing.TraceLog` recording the
+            adaptive engines' route/output/retire events.  Identical calls
+            produce identical traces, tuple ids included.  The ``static``
+            engine routes nothing and therefore emits no trace records.
 
     Returns:
         An :class:`~repro.engine.results.ExecutionResult`.
@@ -62,11 +68,12 @@ def execute(
             until=until,
             strict_constraints=strict_constraints,
             batch_size=batch_size,
+            trace=trace,
         )
     if engine == "eddy-joins":
         return run_eddy_joins(
             parsed, catalog, plan=plan, policy=None if policy == "benefit" else policy,
-            cost_model=cost_model, until=until, batch_size=batch_size,
+            cost_model=cost_model, until=until, batch_size=batch_size, trace=trace,
         )
     if engine == "static":
         return run_static(parsed, catalog)

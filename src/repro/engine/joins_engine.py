@@ -22,11 +22,12 @@ from repro.core.modules.base import Module
 from repro.core.modules.joinmodule import IndexJoinModule, SymmetricHashJoinModule
 from repro.core.modules.selection import SelectionModule
 from repro.core.policies import NaivePolicy, RoutingPolicy, make_policy
-from repro.core.tuples import QTuple
+from repro.core.tuples import QTuple, install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceLog
 from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
 
 
@@ -142,6 +143,8 @@ class EddyJoinsEngine:
         cost_model: virtual-time cost model.
         batch_size: ready tuples drained per eddy routing event (1 =
             per-tuple routing; >1 enables signature-batched routing).
+        trace: optional :class:`TraceLog` recording route/output/retire
+            events.
     """
 
     def __init__(
@@ -152,6 +155,7 @@ class EddyJoinsEngine:
         policy: RoutingPolicy | str | None = None,
         cost_model: CostModel | None = None,
         batch_size: int = 1,
+        trace: TraceLog | None = None,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
         self.catalog = catalog
@@ -165,7 +169,11 @@ class EddyJoinsEngine:
         self.plan = list(plan) if plan is not None else default_join_plan(self.query, catalog)
         self.simulator = Simulator()
         self.eddy = Eddy(
-            self.simulator, self.policy, cost_model=self.costs, batch_size=batch_size
+            self.simulator,
+            self.policy,
+            cost_model=self.costs,
+            batch_size=batch_size,
+            trace=trace,
         )
         self._index_join_modules: list[IndexJoinModule] = []
         self._build_modules()
@@ -238,6 +246,7 @@ class EddyJoinsEngine:
 
     def run(self, until: float | None = None) -> ExecutionResult:
         """Execute the query and collect metrics."""
+        install_id_allocator()
         final_time = self.eddy.run(until=until)
         index_series = {
             module.name: Series.from_points(module.lookup_series, name=module.name)
@@ -270,6 +279,7 @@ def run_eddy_joins(
     cost_model: CostModel | None = None,
     until: float | None = None,
     batch_size: int = 1,
+    trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build an :class:`EddyJoinsEngine` and run it."""
     engine = EddyJoinsEngine(
@@ -279,5 +289,6 @@ def run_eddy_joins(
         policy=policy,
         cost_model=cost_model,
         batch_size=batch_size,
+        trace=trace,
     )
     return engine.run(until=until)

@@ -1,0 +1,322 @@
+"""Multi-query execution with shared SteMs (paper §2.1.4).
+
+The paper's pitch for SteMs is that decoupled join state is the natural unit
+of *sharing*: the continuous-query systems it cites (CACQ, PSoUP) run many
+concurrent queries over one set of SteMs.  This engine realises that inside
+the reproduction: N queries are admitted onto **one** discrete-event
+simulator, each with its own eddy, :class:`ConstraintChecker` and routing
+policy — but all queries that touch a base table probe (and build) the
+**same** SteM, drawn from a :class:`~repro.core.stem_registry.SteMRegistry`.
+
+What is shared, and what stays per query:
+
+* **Shared** — the SteM per base table (rows, build timestamps, secondary
+  indexes, EOT/seal state), the build-timestamp counter (the TimeStamp
+  constraint needs one total order over builds no matter which query did
+  them), and the simulator clock.
+* **Per query** — the eddy and its ready queue, the routing policy, the
+  constraint checker and its destination-signature cache, selection and
+  access modules, statistics, outputs, and traces.  Every dataflow tuple is
+  stamped with its query's id on entry.
+
+Correctness notes (why per-query results equal each query run alone):
+
+* A build whose row is already present (inserted first by another query) is
+  *not* dropped: it bounces back into its own query's dataflow carrying the
+  shared build timestamp, so the query still probes with it.  Only a row
+  the same query has already carried — a competing-AM duplicate — ends at
+  the SteM, exactly the paper's SteM BounceBack rule.
+* Probe coverage ("all matches known") is only claimed per-query-safely:
+  timestamp-suppressed matches inserted by *another* query's dataflow reach
+  this query only via its own scan, so without one the AM-probe path stays
+  open (see :class:`~repro.core.modules.stem_module.SharedSteMModule`).
+* Self-joins keep private per-alias SteMs: the TimeStamp discipline needs
+  timestamp-distinct copies of a row under each alias to emit diagonal
+  matches exactly once, so only single-reference tables are shared.
+* With ``stem_max_size`` set, the sliding window itself becomes shared
+  state: evictions follow the *interleaved* cross-query insert order, so
+  with several concurrent queries the per-query result sets reflect the
+  shared window (the CACQ/PSoUP semantics) rather than what each query
+  would see over a private window.  Run-alone equivalence is exact for
+  unbounded SteMs, and for a bounded SteM only while one query is admitted.
+
+The sharing win is measured, not assumed: the shared configuration performs
+one table's worth of SteM *insertions* regardless of how many queries read
+the table, which `benchmarks/test_ablation_shared_stems.py` asserts against
+the private configuration along with byte-identical per-query results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ExecutionError
+from repro.core.costs import CostModel
+from repro.core.eddy import Eddy
+from repro.core.modules.stem_module import SharedSteMModule, SteMModule
+from repro.core.policies import RoutingPolicy, make_policy
+from repro.core.stem import SteM
+from repro.core.stem_registry import SteMRegistry, stem_build_totals
+from repro.core.tuples import install_id_allocator
+from repro.engine.results import ExecutionResult, MultiQueryResult
+from repro.engine.stems_engine import (
+    collect_stems_result,
+    instantiate_stems_query,
+    make_private_stem_module,
+)
+from repro.query.parser import parse_query
+from repro.query.query import Query, TableRef
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceLog
+
+
+@dataclass
+class QueryAdmission:
+    """One query admitted into a multi-query run.
+
+    Attributes:
+        query: the query (a :class:`Query` or SQL text).
+        query_id: id the run keys this query's results and tuples by;
+            defaults to ``q<position>``.
+        policy: routing policy name or instance.  Policies are stateful, so
+            instances must not be reused across admissions; names are
+            instantiated fresh per admission.
+        arrival_time: virtual time at which the query is admitted (its scans
+            start streaming then — the staggered-arrival knob).
+        preferences: user-interest preference predicates (paper §4.1).
+        trace: optional per-query :class:`TraceLog`.
+    """
+
+    query: Query | str
+    query_id: str = ""
+    policy: RoutingPolicy | str = "benefit"
+    arrival_time: float = 0.0
+    preferences: tuple = ()
+    trace: TraceLog | None = None
+
+
+@dataclass
+class _AdmittedQuery:
+    """Internal per-admission state: the parsed query wired onto its eddy."""
+
+    query_id: str
+    query: Query
+    arrival_time: float
+    eddy: Eddy
+
+
+class MultiQueryEngine:
+    """Runs N queries concurrently on one simulator with shared SteMs.
+
+    Args:
+        admissions: the queries to admit.  Plain queries/SQL strings are
+            accepted and wrapped in default :class:`QueryAdmission`s.
+        catalog: tables and access-method declarations (shared by all
+            queries).
+        shared_stems: share one SteM per base table across queries (the
+            paper's §2.1.4 sharing); ``False`` gives every query private
+            SteMs — the ablation baseline, equivalent to N independent
+            :class:`~repro.engine.stems_engine.StemsEngine` runs on one
+            clock.
+        cost_model: virtual-time cost model (shared by all queries).
+        strict_constraints: validate every routing decision of every query.
+        stem_index_kind: secondary-index implementation inside SteMs.
+        stem_max_size: optional SteM row bound (CACQ/PSoUP sliding-window
+            eviction; applies to shared and private SteMs alike).
+        batch_size: per-eddy routing batch (see :class:`~repro.core.eddy.Eddy`).
+    """
+
+    def __init__(
+        self,
+        admissions: Iterable[QueryAdmission | Query | str],
+        catalog,
+        shared_stems: bool = True,
+        cost_model: CostModel | None = None,
+        strict_constraints: bool = False,
+        stem_index_kind: str = "hash",
+        stem_max_size: int | None = None,
+        batch_size: int = 1,
+    ):
+        self.catalog = catalog
+        self.costs = cost_model or CostModel()
+        self.shared_stems = shared_stems
+        self.strict_constraints = strict_constraints
+        self.stem_index_kind = stem_index_kind
+        self.stem_max_size = stem_max_size
+        self.batch_size = batch_size
+        self.simulator = Simulator()
+        self.registry: SteMRegistry | None = (
+            SteMRegistry(index_kind=stem_index_kind, max_size=stem_max_size)
+            if shared_stems
+            else None
+        )
+        #: One build-timestamp source for every eddy: the TimeStamp
+        #: constraint requires a total order over builds across queries.
+        self._timestamps = itertools.count(1)
+        self._queries: list[_AdmittedQuery] = []
+        for position, entry in enumerate(admissions):
+            admission = (
+                entry
+                if isinstance(entry, QueryAdmission)
+                else QueryAdmission(query=entry)
+            )
+            self._admit(position, admission)
+        if not self._queries:
+            raise ExecutionError("a multi-query run needs at least one admission")
+
+    # -- admission ---------------------------------------------------------------
+
+    def _admit(self, position: int, admission: QueryAdmission) -> None:
+        query = (
+            parse_query(admission.query)
+            if isinstance(admission.query, str)
+            else admission.query
+        )
+        query_id = admission.query_id or f"q{position}"
+        if any(ctx.query_id == query_id for ctx in self._queries):
+            raise ExecutionError(f"duplicate query id {query_id!r}")
+        if admission.arrival_time < 0:
+            raise ExecutionError(
+                f"arrival_time must be >= 0, got {admission.arrival_time}"
+            )
+        policy = (
+            make_policy(admission.policy)
+            if isinstance(admission.policy, str)
+            else admission.policy
+        )
+        if any(ctx.eddy.policy is policy for ctx in self._queries):
+            raise ExecutionError(
+                "routing policy instances are stateful and cannot be shared "
+                "across admissions; pass a policy name or a fresh instance "
+                f"(query {query_id!r})"
+            )
+        eddy = Eddy(
+            self.simulator,
+            policy,
+            cost_model=self.costs,
+            strict_constraints=self.strict_constraints,
+            batch_size=self.batch_size,
+            trace=admission.trace,
+            query_id=query_id,
+            timestamp_source=self._timestamps,
+        )
+        eddy.preferences = list(admission.preferences)
+        instantiate_stems_query(
+            query, self.catalog, eddy, self.costs, self._make_stem_module
+        )
+        if self.registry is not None:
+            self.registry.attach_runtime(eddy)
+        self._queries.append(_AdmittedQuery(query_id, query, admission.arrival_time, eddy))
+
+    def _make_stem_module(self, ref: TableRef, query: Query) -> SteMModule:
+        """Shared SteM for single-reference tables, private otherwise."""
+        if self.registry is not None and len(query.aliases_of_table(ref.table)) == 1:
+            stem = self.registry.stem_for(
+                ref.table, ref.alias, query.join_columns_of(ref.alias)
+            )
+            return SharedSteMModule(
+                stem,
+                ref.alias,
+                query.predicates,
+                registry=self.registry,
+                build_cost=self.costs.stem_build_cost,
+                probe_cost=self.costs.stem_probe_cost,
+            )
+        return make_private_stem_module(
+            ref,
+            query,
+            self.costs,
+            index_kind=self.stem_index_kind,
+            max_size=self.stem_max_size,
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    @property
+    def admitted(self) -> tuple[str, ...]:
+        """The admitted query ids, in admission order."""
+        return tuple(ctx.query_id for ctx in self._queries)
+
+    def eddy_of(self, query_id: str) -> Eddy:
+        """The eddy executing one admitted query."""
+        for ctx in self._queries:
+            if ctx.query_id == query_id:
+                return ctx.eddy
+        raise ExecutionError(f"unknown query id {query_id!r}")
+
+    def run(self, until: float | None = None) -> MultiQueryResult:
+        """Admit every query at its arrival time and run to quiescence."""
+        install_id_allocator()
+        for ctx in self._queries:
+            self.simulator.schedule(
+                ctx.arrival_time, ctx.eddy.start, label=f"admit:{ctx.query_id}"
+            )
+        final_time = self.simulator.run(until=until)
+        return self._collect(final_time)
+
+    # -- collection --------------------------------------------------------------
+
+    def _collect(self, final_time: float) -> MultiQueryResult:
+        results: dict[str, ExecutionResult] = {}
+        for ctx in self._queries:
+            results[ctx.query_id] = collect_stems_result(
+                ctx.eddy, ctx.query, final_time, engine="stems", query_id=ctx.query_id
+            )
+        stem_stats: dict[str, dict[str, int]] = {}
+        distinct: dict[int, SteM] = {}
+        for ctx in self._queries:
+            for module in ctx.eddy.stems.values():
+                stem = module.stem
+                if id(stem) in distinct:
+                    continue
+                distinct[id(stem)] = stem
+                if self._is_registry_stem(stem):
+                    key = stem.name
+                else:
+                    key = f"{ctx.query_id}:{stem.name}"
+                stem_stats[key] = dict(stem.stats)
+        return MultiQueryResult(
+            results=results,
+            final_time=final_time,
+            shared_stems=self.shared_stems,
+            stem_totals=stem_build_totals(distinct.values()),
+            stem_stats=stem_stats,
+            registry_stats=dict(self.registry.stats) if self.registry else {},
+        )
+
+    def _is_registry_stem(self, stem: SteM) -> bool:
+        return (
+            self.registry is not None
+            and self.registry.stems.get(stem.table) is stem
+        )
+
+    def __repr__(self) -> str:
+        mode = "shared" if self.shared_stems else "private"
+        return f"MultiQueryEngine({len(self._queries)} queries, {mode} SteMs)"
+
+
+def run_multi(
+    admissions: Iterable[QueryAdmission | Query | str],
+    catalog,
+    shared_stems: bool = True,
+    cost_model: CostModel | None = None,
+    until: float | None = None,
+    strict_constraints: bool = False,
+    batch_size: int = 1,
+    stem_index_kind: str = "hash",
+    stem_max_size: int | None = None,
+) -> MultiQueryResult:
+    """Convenience wrapper: build a :class:`MultiQueryEngine` and run it."""
+    engine = MultiQueryEngine(
+        admissions,
+        catalog,
+        shared_stems=shared_stems,
+        cost_model=cost_model,
+        strict_constraints=strict_constraints,
+        batch_size=batch_size,
+        stem_index_kind=stem_index_kind,
+        stem_max_size=stem_max_size,
+    )
+    return engine.run(until=until)

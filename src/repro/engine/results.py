@@ -65,6 +65,7 @@ class ExecutionResult:
     Attributes:
         engine: name of the engine that ran the query.
         query_name: the query's name.
+        query_id: the admission id in a multi-query run (empty otherwise).
         tuples: the result tuples (as :class:`QTuple` objects).
         output_series: cumulative results over virtual time (Figures 7(i)/8).
         completion_time: virtual time of the last result (None if no results).
@@ -80,6 +81,7 @@ class ExecutionResult:
 
     engine: str
     query_name: str
+    query_id: str = ""
     tuples: list[QTuple] = field(default_factory=list)
     output_series: Series = field(default_factory=Series)
     completion_time: float | None = None
@@ -110,6 +112,11 @@ class ExecutionResult:
         """Hashable identities of the results (for set comparisons in tests)."""
         return [tuple_.identity() for tuple_ in self.tuples]
 
+    def canonical_identities(self) -> list[tuple]:
+        """The result identities, sorted: the order-insensitive canonical
+        form used when comparing result *sets* across configurations."""
+        return sorted(self.identities())
+
     def has_duplicates(self) -> bool:
         """True if the same logical result was emitted more than once."""
         identities = self.identities()
@@ -139,3 +146,88 @@ class ExecutionResult:
             f"last result at {completion}, quiesced at {self.final_time:.1f}s, "
             f"{self.total_index_lookups()} index lookups"
         )
+
+
+@dataclass
+class MultiQueryResult:
+    """Everything a multi-query run reports: one result per admitted query.
+
+    Attributes:
+        results: per-query :class:`ExecutionResult`, keyed by the query id
+            each admission was given (tuples of query ``q`` carry
+            ``query_id == q`` — the id threads from admission through the
+            eddy and the trace to the outputs collected here).
+        final_time: virtual time at which the whole simulation quiesced.
+        shared_stems: whether SteMs were shared per base table.
+        stem_totals: aggregate build/probe counters over every distinct SteM
+            that existed in the run (shared SteMs counted once).  The
+            ``insertions`` entry is the shared-vs-private ablation metric.
+        stem_stats: per-SteM counters, keyed by SteM name (shared SteMs are
+            named after their table, private ones after their alias,
+            prefixed by the owning query id).
+        registry_stats: the shared registry's own counters (empty when
+            running with private SteMs).
+    """
+
+    results: dict[str, ExecutionResult] = field(default_factory=dict)
+    final_time: float = 0.0
+    shared_stems: bool = True
+    stem_totals: dict[str, int] = field(default_factory=dict)
+    stem_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    registry_stats: dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, query_id: str) -> ExecutionResult:
+        return self.results[query_id]
+
+    def __contains__(self, query_id: object) -> bool:
+        return query_id in self.results
+
+    def __iter__(self):
+        """Iterate query ids in admission order (mapping convention)."""
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def items(self):
+        """``(query_id, result)`` pairs, in admission order."""
+        return self.results.items()
+
+    def same_results(self, other: "MultiQueryResult") -> bool:
+        """True when both runs produced identical per-query result sets.
+
+        The comparison is order-insensitive within each query (via
+        :meth:`ExecutionResult.canonical_identities`) — the oracle the
+        shared-vs-private SteM ablation is stated in.
+        """
+        if self.query_ids != other.query_ids:
+            return False
+        return all(
+            self[query_id].canonical_identities()
+            == other[query_id].canonical_identities()
+            for query_id in self.query_ids
+        )
+
+    @property
+    def query_ids(self) -> tuple[str, ...]:
+        """The admitted query ids, in admission order."""
+        return tuple(self.results)
+
+    @property
+    def total_rows(self) -> int:
+        """Result rows across all queries."""
+        return sum(result.row_count for result in self.results.values())
+
+    def summary(self) -> str:
+        """A short human-readable multi-line summary."""
+        mode = "shared" if self.shared_stems else "private"
+        lines = [
+            f"[multi/{mode}-stems] {len(self.results)} queries, "
+            f"{self.total_rows} rows, quiesced at {self.final_time:.1f}s, "
+            f"{self.stem_totals.get('insertions', 0)} stem insertions "
+            f"({self.stem_totals.get('duplicates', 0)} duplicate builds "
+            "coalesced)"
+        ]
+        for query_id, result in self.results.items():
+            lines.append(f"  {query_id}: {result.summary()}")
+        return "\n".join(lines)

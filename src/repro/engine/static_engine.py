@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.tuples import QTuple
+from repro.core.tuples import QTuple, install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.joins.base import Composite
 from repro.joins.pipeline import base_input, execute_left_deep
@@ -90,6 +90,7 @@ class StaticEngine:
     def run(self, until: float | None = None) -> ExecutionResult:
         """Execute the plan; ``until`` is accepted for interface parity."""
         del until
+        install_id_allocator()
         composites = list(
             execute_left_deep(self.query, self.catalog, order=self.order, join_kind=self.join_kind)
         )

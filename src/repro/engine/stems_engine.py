@@ -12,11 +12,16 @@ Query instantiation follows paper section 2.2 exactly:
 
 The eddy then routes tuples under the Table 2 constraints with whatever
 routing policy the caller selects.
+
+The instantiation and metric-collection steps are shared with the
+multi-query engine (:mod:`repro.engine.multi`), which runs the same steps
+once per admitted query on one simulator, swapping the SteM factory so that
+SteMs are drawn from a shared :class:`~repro.core.stem_registry.SteMRegistry`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.core.constraints import ConstraintChecker
 from repro.core.costs import CostModel
@@ -26,13 +31,141 @@ from repro.core.modules.selection import SelectionModule
 from repro.core.modules.stem_module import SteMModule
 from repro.core.policies import RoutingPolicy, make_policy
 from repro.core.stem import SteM
+from repro.core.tuples import install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.query.binding import validate_bindings
 from repro.query.joingraph import JoinGraph
 from repro.query.parser import parse_query
-from repro.query.query import Query
+from repro.query.query import Query, TableRef
 from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceLog
 from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
+
+#: Factory producing the SteM module for one FROM-clause entry.  The
+#: single-query engine builds a private SteM per alias; the multi-query
+#: engine substitutes a factory drawing shared SteMs from its registry.
+SteMModuleFactory = Callable[[TableRef, Query], SteMModule]
+
+
+def instantiate_stems_query(
+    query: Query,
+    catalog: Catalog,
+    eddy: Eddy,
+    costs: CostModel,
+    make_stem_module: SteMModuleFactory,
+) -> ConstraintChecker:
+    """Wire one query's modules onto an eddy (paper §2.2's five steps).
+
+    Returns the :class:`ConstraintChecker` installed as the eddy's
+    destination resolver.
+    """
+    binding_plan = validate_bindings(query, catalog)
+    join_graph = JoinGraph.from_query(query)
+    # SteMs: one module per alias (the factory decides whether the backing
+    # SteM is private or shared).
+    for ref in query.tables:
+        eddy.register_stem(ref.alias, make_stem_module(ref, query))
+    # Selection modules.
+    for predicate in query.selection_predicates:
+        eddy.register_selection(
+            SelectionModule(predicate, cost=costs.selection_cost)
+        )
+    # Access modules: every access method usable for every alias.
+    for ref in query.tables:
+        table = catalog.table(ref.table)
+        for spec in binding_plan.methods_for(ref.alias):
+            if isinstance(spec, ScanSpec):
+                eddy.register_scan_am(
+                    ref.alias, ScanAMModule(spec, table, ref.alias)
+                )
+            elif isinstance(spec, IndexSpec):
+                eddy.register_index_am(
+                    ref.alias,
+                    IndexAMModule(
+                        spec,
+                        table,
+                        ref.alias,
+                        query.predicates,
+                        handle_cost=costs.am_handle_cost,
+                    ),
+                )
+    # Routing constraints.
+    checker = ConstraintChecker(
+        query=query,
+        join_graph=join_graph,
+        stems=eddy.stems,
+        selections=eddy.selections,
+        index_ams=eddy.index_ams,
+        scan_aliases=[
+            alias for alias in query.alias_order if eddy.has_scan_am(alias)
+        ],
+    )
+    eddy.set_resolver(checker)
+    return checker
+
+
+def make_private_stem_module(
+    ref: TableRef,
+    query: Query,
+    costs: CostModel,
+    index_kind: str = "hash",
+    max_size: int | None = None,
+) -> SteMModule:
+    """A private SteM (and its module) for one FROM-clause entry.
+
+    One SteM per alias: a table referenced under several aliases gets one
+    SteM per alias (see DESIGN.md for the self-join note).  Used by the
+    single-query engine for every alias and by the multi-query engine for
+    self-join aliases and its private-SteM ablation baseline — both must
+    instantiate identically or the baselines stop being comparable.
+    """
+    stem = SteM(
+        table=ref.table,
+        aliases=(ref.alias,),
+        join_columns=query.join_columns_of(ref.alias),
+        index_kind=index_kind,
+        max_size=max_size,
+        name=f"stem:{ref.alias}",
+    )
+    return SteMModule(
+        stem,
+        query.predicates,
+        build_cost=costs.stem_build_cost,
+        probe_cost=costs.stem_probe_cost,
+    )
+
+
+def collect_stems_result(
+    eddy: Eddy,
+    query: Query,
+    final_time: float,
+    engine: str = "stems",
+    query_id: str = "",
+) -> ExecutionResult:
+    """Collect one eddy's outputs and metrics into an :class:`ExecutionResult`."""
+    index_series: dict[str, Series] = {}
+    for ams in eddy.index_ams.values():
+        for am in ams:
+            index_series[am.name] = Series.from_points(am.lookup_series, name=am.name)
+    module_stats = {
+        name: dict(module.stats) for name, module in eddy.modules.items()
+    }
+    resolver = eddy.resolver
+    if isinstance(resolver, ConstraintChecker):
+        module_stats["destination-cache"] = dict(resolver.cache_stats)
+    return ExecutionResult(
+        engine=engine,
+        query_name=query.name,
+        query_id=query_id,
+        tuples=eddy.result_tuples,
+        output_series=Series.from_points(eddy.output_series(), name="results"),
+        completion_time=eddy.completion_time,
+        final_time=final_time,
+        index_probe_series=index_series,
+        partial_series=_partial_series(eddy),
+        module_stats=module_stats,
+        eddy_stats=dict(eddy.stats),
+    )
 
 
 class StemsEngine:
@@ -48,6 +181,9 @@ class StemsEngine:
         stem_max_size: optional SteM size bound (sliding-window eviction).
         batch_size: ready tuples drained per eddy routing event (1 =
             per-tuple routing; >1 enables signature-batched routing).
+        trace: optional :class:`TraceLog` recording route/output/retire
+            events (identical across identical runs; see
+            ``tests/engine/test_determinism.py``).
     """
 
     def __init__(
@@ -61,6 +197,7 @@ class StemsEngine:
         stem_max_size: int | None = None,
         preferences: Sequence = (),
         batch_size: int = 1,
+        trace: TraceLog | None = None,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
         self.catalog = catalog
@@ -70,8 +207,6 @@ class StemsEngine:
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
 
-        self.binding_plan = validate_bindings(self.query, catalog)
-        self.join_graph = JoinGraph.from_query(self.query)
         self.simulator = Simulator()
         self.eddy = Eddy(
             self.simulator,
@@ -79,99 +214,31 @@ class StemsEngine:
             cost_model=self.costs,
             strict_constraints=strict_constraints,
             batch_size=batch_size,
+            trace=trace,
         )
         self.eddy.preferences = list(preferences)
-        self._build_modules()
+        instantiate_stems_query(
+            self.query, catalog, self.eddy, self.costs, self._make_stem_module
+        )
 
     # -- construction -----------------------------------------------------------
 
-    def _build_modules(self) -> None:
-        query, catalog = self.query, self.catalog
-        # SteMs: one per alias (a table referenced under several aliases gets
-        # one SteM per alias; see DESIGN.md for the self-join note).
-        for ref in query.tables:
-            stem = SteM(
-                table=ref.table,
-                aliases=(ref.alias,),
-                join_columns=query.join_columns_of(ref.alias),
-                index_kind=self.stem_index_kind,
-                max_size=self.stem_max_size,
-                name=f"stem:{ref.alias}",
-            )
-            module = SteMModule(
-                stem,
-                query.predicates,
-                build_cost=self.costs.stem_build_cost,
-                probe_cost=self.costs.stem_probe_cost,
-            )
-            self.eddy.register_stem(ref.alias, module)
-        # Selection modules.
-        for predicate in query.selection_predicates:
-            self.eddy.register_selection(
-                SelectionModule(predicate, cost=self.costs.selection_cost)
-            )
-        # Access modules: every access method usable for every alias.
-        for ref in query.tables:
-            table = catalog.table(ref.table)
-            for spec in self.binding_plan.methods_for(ref.alias):
-                if isinstance(spec, ScanSpec):
-                    self.eddy.register_scan_am(
-                        ref.alias, ScanAMModule(spec, table, ref.alias)
-                    )
-                elif isinstance(spec, IndexSpec):
-                    self.eddy.register_index_am(
-                        ref.alias,
-                        IndexAMModule(
-                            spec,
-                            table,
-                            ref.alias,
-                            query.predicates,
-                            handle_cost=self.costs.am_handle_cost,
-                        ),
-                    )
-        # Routing constraints.
-        checker = ConstraintChecker(
-            query=query,
-            join_graph=self.join_graph,
-            stems=self.eddy.stems,
-            selections=self.eddy.selections,
-            index_ams=self.eddy.index_ams,
-            scan_aliases=[
-                alias for alias in query.alias_order if self.eddy.has_scan_am(alias)
-            ],
+    def _make_stem_module(self, ref: TableRef, query: Query) -> SteMModule:
+        return make_private_stem_module(
+            ref,
+            query,
+            self.costs,
+            index_kind=self.stem_index_kind,
+            max_size=self.stem_max_size,
         )
-        self.eddy.set_resolver(checker)
 
     # -- execution ---------------------------------------------------------------
 
     def run(self, until: float | None = None) -> ExecutionResult:
         """Execute the query and collect metrics."""
+        install_id_allocator()
         final_time = self.eddy.run(until=until)
-        return self._collect(final_time)
-
-    def _collect(self, final_time: float) -> ExecutionResult:
-        index_series: dict[str, Series] = {}
-        for ams in self.eddy.index_ams.values():
-            for am in ams:
-                index_series[am.name] = Series.from_points(am.lookup_series, name=am.name)
-        module_stats = {
-            name: dict(module.stats) for name, module in self.eddy.modules.items()
-        }
-        resolver = self.eddy.resolver
-        if isinstance(resolver, ConstraintChecker):
-            module_stats["destination-cache"] = dict(resolver.cache_stats)
-        return ExecutionResult(
-            engine="stems",
-            query_name=self.query.name,
-            tuples=self.eddy.result_tuples,
-            output_series=Series.from_points(self.eddy.output_series(), name="results"),
-            completion_time=self.eddy.completion_time,
-            final_time=final_time,
-            index_probe_series=index_series,
-            partial_series=_partial_series(self.eddy),
-            module_stats=module_stats,
-            eddy_stats=dict(self.eddy.stats),
-        )
+        return collect_stems_result(self.eddy, self.query, final_time)
 
 
 def _partial_series(eddy: Eddy) -> dict[str, Series]:
@@ -193,6 +260,7 @@ def run_stems(
     strict_constraints: bool = False,
     preferences: Sequence = (),
     batch_size: int = 1,
+    trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`StemsEngine` and run it."""
     engine = StemsEngine(
@@ -203,5 +271,6 @@ def run_stems(
         strict_constraints=strict_constraints,
         preferences=preferences,
         batch_size=batch_size,
+        trace=trace,
     )
     return engine.run(until=until)

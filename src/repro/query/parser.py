@@ -144,9 +144,16 @@ def parse_query(text: str, name: str | None = None) -> Query:
     projections = [
         _qualify(projection, default_alias) for projection in projections
     ]
+    qualified = [_qualify_predicate(p, default_alias) for p in predicates]
+    # Number the freshly created predicates 1..n: parsing the same text
+    # twice must produce identically named/identified predicates, or module
+    # names (select:pN) and done-bits differ between otherwise identical
+    # runs and traces stop being comparable.
+    for position, predicate in enumerate(qualified, start=1):
+        predicate.renumber(position)
     return Query(
         tables=tables,
-        predicates=[_qualify_predicate(p, default_alias) for p in predicates],
+        predicates=qualified,
         projections=projections,
         name=name or " ".join(text.split())[:60],
     )

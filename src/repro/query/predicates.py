@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 import operator
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -63,6 +64,21 @@ class Predicate:
     def can_evaluate(self, available: frozenset[str] | set[str]) -> bool:
         """True if all referenced aliases are available."""
         return self.aliases() <= frozenset(available)
+
+    def renumber(self, new_id: int) -> None:
+        """Reassign the predicate's id (and auto-generated name).
+
+        The parser renumbers each parsed query's predicates 1..n so that
+        parsing the same text twice yields identically named/identified
+        predicates — module names and done-bits then stay deterministic
+        across runs, which trace comparisons rely on.  Ids only need to be
+        unique *within* one query: a tuple is ever evaluated against a
+        single query's predicates.
+        """
+        auto_named = re.fullmatch(r"p\d+", self.name) is not None
+        self.predicate_id = new_id
+        if auto_named:
+            self.name = f"p{new_id}"
 
     @property
     def is_selection(self) -> bool:

@@ -57,7 +57,19 @@ class BoundedQueue(Generic[ItemT]):
         return True
 
     def push(self, item: ItemT) -> None:
-        """Enqueue ``item`` unconditionally (used for unbounded queues)."""
+        """Enqueue ``item`` unconditionally — unbounded queues only.
+
+        Raises:
+            ValueError: if the queue has a capacity.  Bounded queues must go
+                through :meth:`offer` so backpressure is observed; silently
+                exceeding the bound would defeat the head-of-line-blocking
+                model the paper's Figure 7 depends on.
+        """
+        if self.capacity is not None:
+            raise ValueError(
+                f"push() on bounded queue {self.name or 'queue'!r} "
+                f"(capacity={self.capacity}); use offer() so the bound holds"
+            )
         self._items.append(item)
         self.total_enqueued += 1
         self.max_occupancy = max(self.max_occupancy, len(self._items))

@@ -48,7 +48,10 @@ class ScanSpec(AccessMethodSpec):
     Attributes:
         rate: rows delivered per virtual second.
         initial_delay: virtual seconds before the first row is delivered.
-        stall_at: optional virtual time at which the source stalls.
+        stall_at: optional offset (virtual seconds from the scan's start)
+            at which the source stalls.  Scans start when their query is
+            admitted, so for a query admitted mid-simulation the stall
+            happens ``arrival_time + stall_at`` into the run.
         stall_duration: how long the stall lasts (virtual seconds).
         cost_per_row: CPU cost charged per delivered row (virtual seconds).
     """

@@ -132,3 +132,81 @@ class TestBackpressure:
         result = engine.run()
         assert result.row_count == 50
         assert result.eddy_stats["blocked_offers"] > 0
+
+
+class TestFailedTupleDrops:
+    """Failed tuples leave the dataflow with trace + policy accounting."""
+
+    def _failed_tuples(self, count):
+        table = make_source_r(max(count, 2), 2, seed=9)
+        tuples = []
+        for row in table.rows[:count]:
+            tuple_ = singleton_tuple("R", row)
+            tuple_.failed = True
+            tuples.append(tuple_)
+        return tuples
+
+    @pytest.mark.parametrize("batch_size", [1, 4], ids=lambda b: f"batch={b}")
+    def test_failed_drops_traced_and_fed_back(self, batch_size):
+        from repro.sim.tracing import TraceLog
+
+        retired = []
+
+        class RecordingPolicy(NaivePolicy):
+            def on_retire(self, tuple_, eddy):
+                retired.append(tuple_.tuple_id)
+
+        trace = TraceLog()
+        eddy = Eddy(Simulator(), RecordingPolicy(), trace=trace, batch_size=batch_size)
+        tuples = self._failed_tuples(3)
+        for tuple_ in tuples:
+            eddy.to_eddy(tuple_)
+        eddy.sim.run()
+        assert eddy.stats["dropped_failed"] == 3
+        # The policy's retirement feedback fired for every dropped tuple...
+        assert sorted(retired) == sorted(t.tuple_id for t in tuples)
+        # ...and the trace accounts for each departure.
+        dropped = trace.filter("drop_failed")
+        assert sorted(record.detail for record in dropped) == sorted(
+            t.tuple_id for t in tuples
+        )
+
+    def test_full_run_trace_accounts_for_every_tuple(self):
+        """output/retire/drop_failed/absorbed cover every routed tuple.
+
+        The competing index AM on T makes the scan and the index deliver
+        the same rows, so the T SteM absorbs duplicate builds — those
+        departures must be traced too.
+        """
+        from repro.sim.tracing import TraceLog
+
+        catalog = Catalog()
+        catalog.add_table(make_source_r(30, 10, seed=5))
+        catalog.add_table(make_source_t(30, seed=6))
+        catalog.add_scan("R", rate=100.0)
+        catalog.add_scan("T", rate=100.0)
+        catalog.add_index("T", ["key"], latency=0.05)
+        trace = TraceLog()
+        engine = StemsEngine(
+            "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 4",
+            catalog,
+            policy="naive",
+            trace=trace,
+        )
+        result = engine.run()
+        stats = engine.eddy.stats
+        assert stats["dropped_failed"] > 0
+        assert stats["absorbed"] > 0
+        assert trace.count("output") == result.row_count
+        assert trace.count("drop_failed") == stats["dropped_failed"]
+        assert trace.count("retire") == stats["retired"]
+        assert trace.count("absorbed") == stats["absorbed"]
+        # Every tuple that was ever routed eventually left the dataflow one
+        # of the four ways (builds/probes/selections bounce back first).
+        routed_ids = {record.detail[0] for record in trace.filter("route")}
+        departed_ids = {
+            record.detail
+            for kind in ("output", "retire", "drop_failed", "absorbed")
+            for record in trace.filter(kind)
+        }
+        assert routed_ids <= departed_ids

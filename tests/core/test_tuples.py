@@ -132,3 +132,33 @@ class TestEOT:
         )
         assert not eot.is_scan_eot
         assert "x=15" in repr(eot)
+
+
+class TestTupleIdAllocation:
+    """Tuple ids come from a per-run allocator, not a process-global counter."""
+
+    def test_install_fresh_allocator_restarts_ids(self):
+        from repro.core.tuples import install_id_allocator
+
+        install_id_allocator()
+        first = singleton_tuple("R", r_row(key=1))
+        assert first.tuple_id == 1
+        assert singleton_tuple("R", r_row(key=2)).tuple_id == 2
+        install_id_allocator()
+        assert singleton_tuple("R", r_row(key=3)).tuple_id == 1
+
+    def test_install_specific_allocator(self):
+        from repro.core.tuples import TupleIdAllocator, install_id_allocator
+
+        allocator = TupleIdAllocator(start=100)
+        returned = install_id_allocator(allocator)
+        assert returned is allocator
+        assert singleton_tuple("R", r_row()).tuple_id == 100
+        install_id_allocator()  # leave a fresh default for other tests
+
+    def test_query_id_defaults_empty_and_propagates_to_extensions(self):
+        base = singleton_tuple("R", r_row())
+        assert base.query_id == ""
+        base.query_id = "q7"
+        extended = base.extended("S", Row("S", S_SCHEMA, (3, 4)), 2.0)
+        assert extended.query_id == "q7"

@@ -1,0 +1,257 @@
+"""Tests for the multi-query engine and SteM sharing (repro.engine.multi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.core.stem_registry import SteMRegistry
+from repro.engine.multi import MultiQueryEngine, QueryAdmission, run_multi
+from repro.engine.stems_engine import run_stems
+from repro.query.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.datagen import make_source_r, make_source_s, make_source_t
+
+JOIN_SQL = "SELECT * FROM R, T WHERE R.key = T.key"
+
+
+def build_catalog(rows: int = 50) -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_source_r(rows, max(rows // 4, 1), seed=11))
+    catalog.add_table(make_source_t(rows, seed=12))
+    catalog.add_scan("R", rate=100.0)
+    catalog.add_scan("T", rate=80.0)
+    catalog.add_index("T", ["key"], latency=0.05)
+    return catalog
+
+
+def identity(result):
+    return sorted(tuple_.identity() for tuple_ in result.tuples)
+
+
+def fleet(cutoffs, stagger=1.0, policy="naive"):
+    admissions = []
+    for position, cutoff in enumerate(cutoffs):
+        sql = JOIN_SQL if cutoff is None else f"{JOIN_SQL} AND R.a < {cutoff}"
+        admissions.append(
+            QueryAdmission(sql, policy=policy, arrival_time=stagger * position)
+        )
+    return admissions
+
+
+class TestAdmission:
+    def test_plain_strings_are_wrapped_and_ids_defaulted(self):
+        engine = MultiQueryEngine([JOIN_SQL, JOIN_SQL], build_catalog())
+        assert engine.admitted == ("q0", "q1")
+
+    def test_duplicate_query_ids_rejected(self):
+        with pytest.raises(ExecutionError, match="duplicate query id"):
+            MultiQueryEngine(
+                [QueryAdmission(JOIN_SQL, query_id="q"),
+                 QueryAdmission(JOIN_SQL, query_id="q")],
+                build_catalog(),
+            )
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ExecutionError, match="arrival_time"):
+            MultiQueryEngine(
+                [QueryAdmission(JOIN_SQL, arrival_time=-1.0)], build_catalog()
+            )
+
+    def test_empty_admissions_rejected(self):
+        with pytest.raises(ExecutionError, match="at least one"):
+            MultiQueryEngine([], build_catalog())
+
+    def test_eddy_of_unknown_id_raises(self):
+        engine = MultiQueryEngine([JOIN_SQL], build_catalog())
+        with pytest.raises(ExecutionError, match="unknown query id"):
+            engine.eddy_of("nope")
+
+
+class TestSharedExecution:
+    def test_results_identical_to_each_query_alone(self):
+        catalog = build_catalog()
+        admissions = fleet([5, 9, None], stagger=0.8)
+        multi = run_multi(admissions, catalog, shared_stems=True)
+        for position, admission in enumerate(admissions):
+            alone = run_stems(admission.query, catalog, policy="naive")
+            assert identity(multi[f"q{position}"]) == identity(alone)
+
+    def test_private_mode_matches_too(self):
+        catalog = build_catalog()
+        admissions = fleet([5, 9, None], stagger=0.8)
+        multi = run_multi(admissions, catalog, shared_stems=False)
+        for position, admission in enumerate(admissions):
+            alone = run_stems(admission.query, catalog, policy="naive")
+            assert identity(multi[f"q{position}"]) == identity(alone)
+
+    def test_shared_inserts_one_tables_worth(self):
+        catalog = build_catalog(rows=40)
+        admissions = fleet([6, 8, None], stagger=0.5)
+        shared = run_multi(admissions, catalog, shared_stems=True)
+        private = run_multi(admissions, catalog, shared_stems=False)
+        # R and T rows are inserted once under sharing, once per query
+        # without it.
+        assert shared.stem_totals["insertions"] == 80
+        assert private.stem_totals["insertions"] == 240
+        assert shared.stem_totals["duplicates"] > 0
+        assert shared.registry_stats["stems"] == 2
+        assert private.registry_stats == {}
+
+    def test_outputs_and_results_carry_query_ids(self):
+        catalog = build_catalog(rows=30)
+        multi = run_multi(fleet([7, None]), catalog, shared_stems=True)
+        assert list(multi) == ["q0", "q1"] and "q0" in multi  # mapping protocol
+        for query_id, result in multi.items():
+            assert result.query_id == query_id
+            assert all(tuple_.query_id == query_id for tuple_ in result.tuples)
+
+    def test_strict_constraints_run_clean_with_sharing(self):
+        catalog = build_catalog(rows=30)
+        multi = run_multi(
+            fleet([7, None]), catalog, shared_stems=True, strict_constraints=True
+        )
+        assert multi.total_rows > 0
+
+    def test_staggered_admission_starts_scans_at_arrival(self):
+        catalog = build_catalog(rows=30)
+        arrival = 5.0
+        multi = run_multi(
+            [QueryAdmission(JOIN_SQL, arrival_time=0.0, policy="naive"),
+             QueryAdmission(JOIN_SQL, arrival_time=arrival, policy="naive")],
+            catalog,
+            shared_stems=True,
+        )
+        late = multi["q1"]
+        assert late.output_series.points[0][0] >= arrival
+        assert identity(late) == identity(multi["q0"])
+
+    def test_seal_broadcast_reaches_every_query(self):
+        catalog = build_catalog(rows=30)
+        engine = MultiQueryEngine(
+            fleet([7, None], stagger=0.5), catalog, shared_stems=True
+        )
+        multi = engine.run()
+        assert engine.registry.stats["broadcasts"] >= 2  # R and T seals
+        for _, result in multi.items():
+            # Each eddy saw its own scan/seal events plus the broadcasts.
+            assert result.eddy_stats["liveness_changes"] >= 2
+
+    def test_mixed_table_sets_share_per_table(self):
+        catalog = build_catalog(rows=30)
+        catalog.add_table(make_source_s(10))
+        catalog.add_scan("S", rate=100.0)
+        multi = run_multi(
+            [QueryAdmission(JOIN_SQL, query_id="rt", policy="naive"),
+             QueryAdmission("SELECT * FROM R, S WHERE R.a = S.x",
+                            query_id="rs", policy="naive", arrival_time=0.5)],
+            catalog,
+            shared_stems=True,
+        )
+        assert set(multi.stem_stats) == {"stem:R", "stem:S", "stem:T"}
+        alone_rs = run_stems(
+            "SELECT * FROM R, S WHERE R.a = S.x", catalog, policy="naive"
+        )
+        assert identity(multi["rs"]) == identity(alone_rs)
+
+    def test_self_join_aliases_stay_private(self):
+        catalog = Catalog()
+        catalog.add_table(make_source_r(30, 10, seed=4))
+        catalog.add_scan("R", rate=100.0)
+        sql = "SELECT * FROM R r1, R r2 WHERE r1.key = r2.a"
+        engine = MultiQueryEngine(
+            [QueryAdmission(sql, policy="naive"),
+             QueryAdmission(sql, policy="naive", arrival_time=0.3)],
+            catalog,
+            shared_stems=True,
+        )
+        multi = engine.run()
+        assert len(engine.registry) == 0  # nothing shared
+        alone = run_stems(sql, catalog, policy="naive")
+        assert identity(multi["q0"]) == identity(alone)
+        assert identity(multi["q1"]) == identity(alone)
+
+    def test_eviction_forgets_carried_rows(self):
+        """Sliding-window SteMs: an evicted row re-delivered to the same
+        query must bounce back again, not be dropped as a duplicate."""
+        catalog = build_catalog(rows=120)
+        admission = QueryAdmission(JOIN_SQL, policy="naive")
+        multi = run_multi([admission], catalog, shared_stems=True, stem_max_size=50)
+        from repro.engine.stems_engine import StemsEngine
+
+        alone = StemsEngine(
+            JOIN_SQL, catalog, policy="naive", stem_max_size=50
+        ).run()
+        assert identity(multi["q0"]) == identity(alone)
+        # Evictions actually happened (the window is smaller than the table).
+        assert sum(
+            stats["evictions"] for stats in multi.stem_stats.values()
+        ) > 0
+
+    def test_policies_are_instantiated_per_admission(self):
+        engine = MultiQueryEngine(
+            [QueryAdmission(JOIN_SQL, policy="lottery"),
+             QueryAdmission(JOIN_SQL, policy="lottery")],
+            build_catalog(rows=20),
+        )
+        assert engine.eddy_of("q0").policy is not engine.eddy_of("q1").policy
+
+    def test_shared_policy_instance_rejected(self):
+        from repro.core.policies import LotteryPolicy
+
+        policy = LotteryPolicy(seed=1)
+        with pytest.raises(ExecutionError, match="cannot be shared"):
+            MultiQueryEngine(
+                [QueryAdmission(JOIN_SQL, policy=policy),
+                 QueryAdmission(JOIN_SQL, policy=policy)],
+                build_catalog(rows=20),
+            )
+
+    def test_run_until_truncates_all_queries(self):
+        catalog = build_catalog(rows=40)
+        multi = run_multi(fleet([None, None], stagger=0.2), catalog, until=0.05)
+        assert multi.final_time <= 0.06
+        assert multi.total_rows < 80
+
+
+class TestSteMRegistry:
+    def test_get_or_create_and_alias_merge(self):
+        registry = SteMRegistry()
+        first = registry.stem_for("R", "r1", ("key",))
+        again = registry.stem_for("R", "r2", ("a",))
+        assert first is again
+        assert set(first.aliases) == {"r1", "r2"}
+        assert set(first.join_columns) == {"key", "a"}
+        assert registry.stats["stems"] == 1
+        assert registry.stats["attachments"] == 2
+        assert "R" in registry and len(registry) == 1
+
+    def test_join_column_backfill_indexes_existing_rows(self):
+        registry = SteMRegistry()
+        table = make_source_r(10, 5, seed=1)
+        stem = registry.stem_for("R", "R", ("key",))
+        for position, row in enumerate(table.rows):
+            stem.build(row, float(position + 1))
+        stem2 = registry.stem_for("R", "R2", ("a",))
+        # The new index was backfilled: an a-bound probe uses it and finds
+        # the pre-existing rows.
+        wanted = table.rows[0]["a"]
+        matches = [row for row in stem2._indexes["a"].lookup((wanted,))]
+        assert matches and all(row["a"] == wanted for row in matches)
+
+    def test_broadcast_reaches_every_attached_runtime(self):
+        registry = SteMRegistry()
+
+        class Runtime:
+            def __init__(self):
+                self.notices = 0
+
+            def notice_liveness_change(self):
+                self.notices += 1
+
+        runtimes = [Runtime(), Runtime()]
+        for runtime in runtimes:
+            registry.attach_runtime(runtime)
+        registry.broadcast_liveness_change()
+        assert [runtime.notices for runtime in runtimes] == [1, 1]
+        assert registry.stats["broadcasts"] == 1

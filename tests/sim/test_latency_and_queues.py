@@ -107,3 +107,18 @@ class TestBoundedQueue:
         assert len(queue) == 1
         with pytest.raises(IndexError):
             BoundedQueue[int]().pop()
+
+    def test_push_rejected_on_bounded_queue(self):
+        """push() must not silently exceed a configured capacity."""
+        queue = BoundedQueue[int](capacity=2, name="module")
+        with pytest.raises(ValueError, match="bounded"):
+            queue.push(1)
+        # offer() is the bounded entry point and still works.
+        assert queue.offer(1) and queue.offer(2)
+        assert not queue.offer(3)
+
+    def test_push_still_unconditional_on_unbounded_queue(self):
+        queue = BoundedQueue[int]()
+        for value in range(100):
+            queue.push(value)
+        assert len(queue) == 100

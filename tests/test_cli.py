@@ -44,3 +44,24 @@ def test_extensions_command_prints_all_three_experiments(capsys):
     assert "Competitive AMs" in captured
     assert "Spanning tree" in captured
     assert "Priorities" in captured
+
+
+def test_multi_command_runs_shared_and_reports_savings(capsys):
+    exit_code = main([
+        "multi", "--queries", "3", "--rows", "60", "--stagger", "2.0",
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "[multi/shared-stems] 3 queries" in captured
+    assert "Shared vs private SteMs" in captured
+    assert "results identical: True" in captured
+
+
+def test_multi_command_private_mode(capsys):
+    exit_code = main([
+        "multi", "--queries", "2", "--rows", "40", "--private-stems",
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "[multi/private-stems] 2 queries" in captured
+    assert "Shared vs private" not in captured
