@@ -10,10 +10,9 @@ are thin wrappers around these runners.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Sequence
 
-from repro.core.costs import CostModel
-from repro.core.policies import BenefitPolicy, NaivePolicy, RoutingPolicy
+from repro.core.policies import BenefitPolicy, NaivePolicy
 from repro.engine.joins_engine import JoinSpec, run_eddy_joins
 from repro.engine.results import ExecutionResult, Series
 from repro.engine.stems_engine import run_stems

@@ -21,6 +21,13 @@ that guarantee correct, duplicate-free, terminating execution:
 destinations* for a tuple; routing policies only ever choose among legal
 destinations, and a strict mode raises :class:`RoutingViolationError` when a
 (custom) policy tries to step outside them.
+
+Since the bitmask-TupleState refactor the checker evaluates the Table 2
+rules with integer algebra over the query's compiled
+:class:`~repro.query.layout.PlanLayout`: adjacent-unspanned aliases are
+``adjacency_of(spanned) & ~spanned``, selection eligibility is one AND per
+predicate against its precomputed alias-requirement mask, and output
+readiness is two mask comparisons.
 """
 
 from __future__ import annotations
@@ -29,12 +36,13 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import RoutingViolationError
-from repro.core.modules.access import IndexAMModule, ScanAMModule
+from repro.core.modules.access import IndexAMModule
 from repro.core.modules.base import Module
 from repro.core.modules.selection import SelectionModule
 from repro.core.modules.stem_module import SteMModule
 from repro.core.tuples import QTuple
 from repro.query.joingraph import JoinGraph
+from repro.query.layout import PlanLayout
 from repro.query.query import Query
 
 
@@ -72,6 +80,9 @@ class ConstraintChecker:
         index_ams: index access modules keyed by alias.
         scan_aliases: aliases whose table has at least one scan AM.
         max_visits: BoundedRepetition bound (default 1).
+        layout: the query's compiled :class:`PlanLayout`; derived from the
+            query and join graph when not supplied (engines pass the one
+            they already share with their eddy).
     """
 
     def __init__(
@@ -83,6 +94,7 @@ class ConstraintChecker:
         index_ams: Mapping[str, Sequence[IndexAMModule]],
         scan_aliases: Iterable[str],
         max_visits: int = 1,
+        layout: PlanLayout | None = None,
     ):
         self.query = query
         self.join_graph = join_graph
@@ -91,6 +103,11 @@ class ConstraintChecker:
         self.index_ams = {alias: tuple(ams) for alias, ams in index_ams.items()}
         self.scan_aliases = frozenset(scan_aliases)
         self.max_visits = max_visits
+        self.layout = layout if layout is not None else PlanLayout(query, join_graph)
+        #: Precomputed bitwise evaluation tables over the layout (see
+        #: :meth:`PlanLayout.selection_entries` for the eligibility rule).
+        self._alias_bits = self.layout.alias_bits
+        self._selection_table = self.layout.selection_entries(self.selections)
         #: Destination-signature cache: routing signature -> legal
         #: destinations.  Valid because destination legality is a pure
         #: function of the signature given the (static) module structure; the
@@ -144,6 +161,10 @@ class ConstraintChecker:
         """All legal destinations for the tuple, required ones first."""
         if tuple_.failed:
             return []
+        if tuple_.layout is not self.layout:
+            # Tuples created outside any engine arrive encoded over the
+            # fallback alias space; translate them once.
+            tuple_.bind_layout(self.layout)
         build = self._build_destination(tuple_)
         if build is not None:
             # BuildFirst: nothing else is legal until the tuple has built.
@@ -157,9 +178,9 @@ class ConstraintChecker:
     def _build_destination(self, tuple_: QTuple) -> Destination | None:
         if not tuple_.is_singleton:
             return None
-        alias = tuple_.single_alias
-        if alias in tuple_.built:
+        if tuple_.built_mask & tuple_.spanned_mask:
             return None
+        alias = tuple_.single_alias
         stem = self.stems.get(alias)
         if stem is None:
             return None
@@ -167,11 +188,12 @@ class ConstraintChecker:
 
     def _selection_destinations(self, tuple_: QTuple) -> list[Destination]:
         result = []
-        for module in self.selections:
-            predicate = module.predicate
-            if tuple_.is_done(predicate):
+        spanned = tuple_.spanned_mask
+        done = tuple_.done_mask
+        for module, done_bit, required_mask in self._selection_table:
+            if done & done_bit:
                 continue
-            if not predicate.can_evaluate(tuple_.aliases):
+            if required_mask & ~spanned:
                 continue
             if tuple_.visit_count(module.name) >= self.max_visits:
                 continue
@@ -181,7 +203,10 @@ class ConstraintChecker:
     def _probe_destinations(self, tuple_: QTuple) -> list[Destination]:
         result: list[Destination] = []
         prior_prober_of = tuple_.probe_completion_alias
-        for alias in self._adjacent_unspanned(tuple_):
+        resolved = tuple_.resolved_mask
+        exhausted = tuple_.exhausted_mask
+        for alias in self.layout.adjacent_unspanned(tuple_.spanned_mask):
+            alias_bit = self._alias_bits[alias]
             stem = self.stems.get(alias)
             if (
                 stem is not None
@@ -196,7 +221,7 @@ class ConstraintChecker:
                 # Index AMs only become destinations once the (cheap) SteM
                 # cache has been consulted.
                 continue
-            if alias in tuple_.exhausted:
+            if exhausted & alias_bit:
                 continue
             if prior_prober_of is not None and prior_prober_of != alias:
                 continue
@@ -205,21 +230,14 @@ class ConstraintChecker:
                     continue
                 if am.bind_key(tuple_) is None:
                     continue
-                required = prior_prober_of == alias and not tuple_.is_resolved(alias)
-                optional_useful = alias in self.scan_aliases or not tuple_.is_resolved(alias)
+                is_resolved = bool(resolved & alias_bit)
+                required = prior_prober_of == alias and not is_resolved
+                optional_useful = alias in self.scan_aliases or not is_resolved
                 if required or optional_useful:
                     result.append(
                         Destination(am, "am_probe", alias, required=required)
                     )
         return result
-
-    def _adjacent_unspanned(self, tuple_: QTuple) -> list[str]:
-        adjacent: list[str] = []
-        for alias in tuple_.aliases:
-            for neighbour in self.join_graph.neighbors(alias):
-                if neighbour not in tuple_.aliases and neighbour not in adjacent:
-                    adjacent.append(neighbour)
-        return sorted(adjacent)
 
     # -- readiness --------------------------------------------------------------
 
@@ -227,9 +245,9 @@ class ConstraintChecker:
         """True if the tuple spans all aliases and passed every predicate."""
         if tuple_.failed:
             return False
-        if tuple_.aliases != self.query.aliases:
-            return False
-        return all(tuple_.is_done(p) for p in self.query.predicates)
+        if tuple_.layout is not self.layout:
+            tuple_.bind_layout(self.layout)
+        return self.layout.is_complete(tuple_.spanned_mask, tuple_.done_mask)
 
     def must_stay_in_dataflow(self, tuple_: QTuple) -> bool:
         """True if retiring the tuple now would violate ProbeCompletion."""

@@ -36,8 +36,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence
 
 from repro.errors import ExecutionError
 from repro.core.constraints import ConstraintChecker, Destination
@@ -48,6 +48,7 @@ from repro.core.modules.selection import SelectionModule
 from repro.core.modules.stem_module import SteMModule
 from repro.core.policies.base import RoutingPolicy
 from repro.core.tuples import EOTTuple, QTuple
+from repro.query.layout import PlanLayout
 from repro.sim.queues import BoundedQueue
 from repro.sim.simulator import Simulator
 from repro.sim.tracing import TraceLog
@@ -107,6 +108,7 @@ class Eddy:
         batch_size: int = 1,
         query_id: str = "",
         timestamp_source: Iterator[int] | None = None,
+        layout: "PlanLayout | None" = None,
     ):
         if batch_size < 1:
             raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
@@ -118,6 +120,13 @@ class Eddy:
         self.max_routing_steps = max_routing_steps
         self.trace = trace
         self.batch_size = batch_size
+        #: The query's compiled :class:`~repro.query.layout.PlanLayout`.
+        #: Engines assign it right after instantiation; every tuple entering
+        #: the dataflow is bound to it so its TupleState masks, the
+        #: constraint checker's bitwise rules, and the destination-signature
+        #: cache all speak the same integer domain.  None only for bare
+        #: eddies built in unit tests (tuples then keep the fallback space).
+        self.layout: PlanLayout | None = layout
         #: Identifier of the query this eddy executes.  Empty for single-
         #: query engines; the multi-query engine names each eddy after its
         #: admission and every tuple entering the dataflow is stamped with it.
@@ -242,6 +251,11 @@ class Eddy:
         """Deliver a tuple (or EOT) into the eddy's dataflow."""
         del source
         if isinstance(item, QTuple):
+            if self.layout is not None and item.layout is not self.layout:
+                # First entry of a tuple created before the layout was known
+                # (or against the fallback space): re-encode its masks over
+                # this query's compiled layout.
+                item.bind_layout(self.layout)
             if self.query_id and not item.query_id:
                 item.query_id = self.query_id
             for preference in self.preferences:

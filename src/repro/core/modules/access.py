@@ -47,6 +47,10 @@ class ScanAMModule(Module):
         self.total = len(table)
         self.finished = False
         self._last_delivery_time = 0.0
+        # Static event labels, precomputed once: deliveries are scheduled
+        # per row, and the labels are needed whether or not a trace exists.
+        self._deliver_label = f"{self.name}:deliver"
+        self._eot_label = f"{self.name}:eot"
         self.stats.update({"delivered": 0, "seed_probes": 0})
 
     def start(self) -> None:
@@ -69,12 +73,12 @@ class ScanAMModule(Module):
             self.runtime.schedule(
                 offset,
                 self._make_delivery(row),
-                label=f"{self.name}:deliver",
+                label=self._deliver_label,
             )
         self.runtime.schedule(
             last_offset + 1e-9,
             self._deliver_eot,
-            label=f"{self.name}:eot",
+            label=self._eot_label,
         )
 
     def _make_delivery(self, row):
@@ -84,7 +88,11 @@ class ScanAMModule(Module):
             self.stats["delivered"] += 1
             self._last_delivery_time = self.runtime.now
             tuple_ = singleton_tuple(
-                self.alias, row, source=self.name, created_at=self.runtime.now
+                self.alias,
+                row,
+                source=self.name,
+                created_at=self.runtime.now,
+                layout=getattr(self.runtime, "layout", None),
             )
             self.runtime.to_eddy(tuple_, source=self)
 
@@ -171,6 +179,8 @@ class IndexAMModule(Module):
         self.predicates = tuple(predicates)
         self.latency = latency or ConstantLatency(spec.latency)
         self.availability = availability or AvailabilityModel.always_available()
+        # Static event label, precomputed once (scheduled per lookup).
+        self._lookup_label = f"{self.name}:lookup"
         self._pending_keys: set[tuple[Any, ...]] = set()
         self._completed_keys: set[tuple[Any, ...]] = set()
         self._lookup_queue: list[tuple[Any, ...]] = []
@@ -254,7 +264,7 @@ class IndexAMModule(Module):
             self.runtime.schedule(
                 completion - self.runtime.now,
                 lambda key=key: self._complete_lookup(key),
-                label=f"{self.name}:lookup",
+                label=self._lookup_label,
             )
 
     def _complete_lookup(self, key: tuple[Any, ...]) -> None:
@@ -266,9 +276,14 @@ class IndexAMModule(Module):
         if self.spec.matches_per_probe is not None:
             matches = matches[: self.spec.matches_per_probe]
         self.stats["matches"] += len(matches)
+        layout = getattr(self.runtime, "layout", None)
         for row in matches:
             tuple_ = singleton_tuple(
-                self.alias, row, source=self.name, created_at=self.runtime.now
+                self.alias,
+                row,
+                source=self.name,
+                created_at=self.runtime.now,
+                layout=layout,
             )
             self.runtime.to_eddy(tuple_, source=self)
         eot = EOTTuple(

@@ -16,7 +16,7 @@ head-of-line blocking behaviour that motivates SteMs (paper section 4.2).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Protocol, Union
+from typing import Protocol, Union
 
 from repro.core.tuples import EOTTuple, QTuple
 from repro.sim.queues import BoundedQueue
@@ -31,6 +31,14 @@ class EddyRuntime(Protocol):
     @property
     def now(self) -> float:
         """Current virtual time."""
+
+    @property
+    def layout(self):
+        """The query's compiled :class:`~repro.query.layout.PlanLayout`
+        (or None on bare runtimes).  Access modules stamp it onto the
+        singleton tuples they create so TupleState masks are encoded over
+        the right alias space from birth.  Modules read it defensively
+        (``getattr``) — older runtimes may not provide it."""
 
     def schedule(self, delay: float, callback, label: str = "") -> None:
         """Schedule a callback on the engine's simulator."""
@@ -76,6 +84,10 @@ class Module(ABC):
         self.queue = BoundedQueue[Routable](queue_capacity, name=name)
         self.busy = False
         self.runtime: EddyRuntime | None = None
+        #: Static event label, precomputed once — service scheduling is a
+        #: hot path and the label is needed whether or not a trace is
+        #: attached, so it must not be re-formatted per item.
+        self._service_label = f"{name}:service"
         #: Operational statistics common to all modules.
         self.stats: dict[str, float] = {"items": 0, "busy_time": 0.0}
 
@@ -115,7 +127,7 @@ class Module(ABC):
         duration = self.service_time(item)
         self.stats["busy_time"] += duration
         self.runtime.schedule(
-            duration, lambda: self._complete(item), label=f"{self.name}:service"
+            duration, lambda: self._complete(item), label=self._service_label
         )
 
     def _complete(self, item: Routable) -> None:

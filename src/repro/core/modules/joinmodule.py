@@ -38,10 +38,11 @@ def _merge_tuples(
         return None
     components = dict(left.components)
     components.update(right.components)
+    done_mask = left.done_mask | right.done_mask
     pending = [
         predicate
         for predicate in predicates
-        if predicate.predicate_id not in (left.done | right.done)
+        if not (done_mask >> predicate.predicate_id) & 1
     ]
     if not all(predicate.evaluate(components) for predicate in pending):
         return None
@@ -50,12 +51,16 @@ def _merge_tuples(
     result = QTuple(
         components,
         timestamps=timestamps,
-        done=left.done | right.done | {p.predicate_id for p in pending},
         source=left.source or right.source,
         priority=max(left.priority, right.priority),
         created_at=min(left.created_at, right.created_at),
+        layout=left.layout,
     )
-    result.built = left.built | right.built
+    result.done_mask = done_mask | sum(1 << p.predicate_id for p in pending)
+    if left.layout is right.layout:
+        result.built_mask = left.built_mask | right.built_mask
+    else:
+        result.built_mask = left.layout.mask_of(left.built | right.built)
     return result
 
 
@@ -238,7 +243,7 @@ class IndexJoinModule(Module):
             pending = [
                 predicate
                 for predicate in self.predicates
-                if predicate.predicate_id not in item.done
+                if not item.is_done(predicate)
                 and predicate.can_evaluate(frozenset(components))
             ]
             if not all(predicate.evaluate(components) for predicate in pending):

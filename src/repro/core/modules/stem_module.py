@@ -71,7 +71,7 @@ class SteMModule(Module):
         return (
             item.is_singleton
             and item.single_alias in self.aliases
-            and item.single_alias not in item.built
+            and not item.has_built(item.single_alias)
         )
 
     def process(self, item: Routable) -> list[Routable]:
@@ -136,7 +136,7 @@ class SteMModule(Module):
         covered = self._covers_probe(item, target, outcome)
         if covered:
             # No AM probe on the target can produce anything new.
-            item.exhausted.add(target)
+            item.mark_exhausted(target)
         if covered or self.runtime.has_scan_am(target):
             # Either we already returned every match, or the scan on the
             # target table will eventually deliver the missing ones and they

@@ -31,7 +31,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.errors import ExecutionError
 from repro.query.expressions import ColumnRef
 from repro.query.predicates import Comparison, Predicate
-from repro.storage.indexes import HashIndex, RowIndex, build_index
+from repro.storage.indexes import RowIndex, build_index
 from repro.storage.row import Row
 from repro.core.tuples import EOTTuple, QTuple
 

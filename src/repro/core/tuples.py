@@ -13,6 +13,17 @@ this implementation the dataflow tuple (:class:`QTuple`) owns both the data
   matches from that side are already guaranteed (so the eddy knows when the
   tuple can be retired from the dataflow).
 
+The TupleState is stored the way the paper describes it — as bits.  Spanned
+aliases, done bits, built/resolved/exhausted flags and the per-module visit
+record are all machine-word integers over the query's compiled
+:class:`~repro.query.layout.PlanLayout`, so :meth:`QTuple.routing_signature`
+(the batched eddy's grouping key) is a memoized tuple of ints that allocates
+no containers per call, and the
+:class:`~repro.core.constraints.ConstraintChecker` resolves destinations
+with bitwise algebra.  Frozenset-view properties (:attr:`QTuple.done`,
+:attr:`QTuple.built`, :attr:`QTuple.resolved`, :attr:`QTuple.exhausted`)
+keep traces, tests and introspecting policies readable.
+
 End-of-transmission markers (:class:`EOTTuple`) are also dataflow tuples, as
 the paper prescribes, so that they can be built into SteMs alongside data.
 """
@@ -20,10 +31,11 @@ the paper prescribes, so that they can be built into SteMs alongside data.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from repro.errors import ExecutionError
+from repro.query.layout import FALLBACK_ALIAS_SPACE, AliasSpace, bit_positions
 from repro.query.predicates import Predicate
 from repro.storage.row import Row
 
@@ -31,6 +43,25 @@ from repro.storage.row import Row
 #: The paper defines it as infinity so that an un-built probe tuple receives
 #: every match already present in a SteM.
 UNBUILT = math.inf
+
+#: Process-wide interning of module names into visit-record slots.  Each
+#: module name owns one byte of the ``visits_token`` integer, so the token is
+#: an injective, order-free encoding of the per-module visit counts — equal
+#: tokens iff equal visit dicts — without building a frozenset per signature.
+#: Injectivity requires every per-module count to fit its byte;
+#: :meth:`QTuple.record_visit` enforces the bound (BoundedRepetition keeps
+#: real counts at ``max_visits``, which is 1 in every shipped configuration).
+_module_slots: dict[str, int] = {}
+
+#: Highest per-module visit count the packed ``visits_token`` can encode.
+_MAX_VISITS_PER_MODULE = 255
+
+
+def _module_slot(module_name: str) -> int:
+    slot = _module_slots.get(module_name)
+    if slot is None:
+        slot = _module_slots[module_name] = len(_module_slots)
+    return slot
 
 
 class TupleIdAllocator:
@@ -74,6 +105,17 @@ def install_id_allocator(
     return _id_allocator
 
 
+def _done_mask_of(predicates: Iterable[Predicate | int]) -> int:
+    """The done-bit mask of predicates given as objects or raw ids."""
+    mask = 0
+    for predicate in predicates:
+        if isinstance(predicate, int):
+            mask |= 1 << predicate
+        else:
+            mask |= 1 << predicate.predicate_id
+    return mask
+
+
 class QTuple:
     """A (possibly composite) tuple flowing through the eddy.
 
@@ -87,6 +129,11 @@ class QTuple:
             component — used for provenance and competitive-AM statistics.
         priority: user-interest priority inherited from prioritised
             predicates (paper section 4.1).
+        layout: the :class:`~repro.query.layout.AliasSpace` the tuple's
+            alias masks are encoded over.  Engines pass their query's
+            compiled :class:`~repro.query.layout.PlanLayout`; tuples created
+            outside any engine share the process-wide fallback space and are
+            re-encoded on first entry into an eddy (:meth:`bind_layout`).
     """
 
     __slots__ = (
@@ -94,18 +141,22 @@ class QTuple:
         "query_id",
         "components",
         "timestamps",
-        "done",
+        "done_mask",
         "source",
-        "priority",
+        "_priority",
         "visits",
-        "built",
-        "resolved",
-        "exhausted",
-        "stop_stem_probes",
-        "probe_completion_alias",
+        "visits_token",
+        "layout",
+        "spanned_mask",
+        "built_mask",
+        "resolved_mask",
+        "exhausted_mask",
+        "_stop_stem_probes",
+        "_probe_completion_alias",
         "last_match_ts",
         "created_at",
         "failed",
+        "_signature",
     )
 
     def __init__(
@@ -117,6 +168,7 @@ class QTuple:
         priority: float = 0.0,
         created_at: float = 0.0,
         query_id: str = "",
+        layout: AliasSpace | None = None,
     ):
         if not components:
             raise ExecutionError("a QTuple needs at least one component")
@@ -131,34 +183,67 @@ class QTuple:
         }
         if timestamps:
             self.timestamps.update(timestamps)
-        self.done: set[int] = set(done)
+        #: Alias space the masks below are encoded over.
+        self.layout: AliasSpace = layout if layout is not None else FALLBACK_ALIAS_SPACE
+        #: Bit per spanned alias (paper definition 1).
+        self.spanned_mask: int = self.layout.mask_of(self.components)
+        #: The done bits: bit ``predicate_id`` set once verified (§2.1).
+        self.done_mask: int = _done_mask_of(done)
         self.source = source
-        self.priority = priority
+        self._priority = priority
         #: Number of times this tuple has been routed to each module
-        #: (BoundedRepetition constraint).
+        #: (BoundedRepetition constraint), plus the equivalent packed-int
+        #: encoding consumed by the routing signature.
         self.visits: dict[str, int] = {}
-        #: Aliases whose component has been built into its SteM.
-        self.built: set[str] = set()
-        #: Unspanned neighbour aliases whose matches are guaranteed to be
-        #: produced without further routing of *this* tuple (see eddy docs).
-        self.resolved: set[str] = set()
-        #: Unspanned neighbour aliases for which a SteM probe returned *all*
-        #: matches (EOT-covered) — probing an AM on them cannot yield more.
-        self.exhausted: set[str] = set()
+        self.visits_token: int = 0
+        #: Bit per alias whose component has been built into its SteM.
+        self.built_mask: int = 0
+        #: Bits of unspanned neighbour aliases whose matches are guaranteed
+        #: to be produced without further routing of *this* tuple.
+        self.resolved_mask: int = 0
+        #: Bits of unspanned neighbour aliases for which a SteM probe
+        #: returned *all* matches (EOT-covered) — probing an AM on them
+        #: cannot yield more.
+        self.exhausted_mask: int = 0
         #: Set once a SteM probe produced concatenated results: from then on
         #: only the *extensions* keep probing SteMs (the n-ary SHJ discipline
         #: of paper section 2.3), which keeps derivations tree-shaped and
         #: therefore duplicate-free in multi-way joins.
-        self.stop_stem_probes = False
+        self._stop_stem_probes = False
         #: When this tuple is a "prior prober" (paper definition 3), the
         #: alias of its probe completion table; None otherwise.
-        self.probe_completion_alias: str | None = None
+        self._probe_completion_alias: str | None = None
         #: Per-target-alias LastMatchTimeStamp, used when the BuildFirst
         #: constraint is relaxed and repeated probes are allowed.
         self.last_match_ts: dict[str, float] = {}
         self.created_at = created_at
         #: Set when a predicate evaluated to false; the tuple is then dropped.
         self.failed = False
+        #: Memoized routing signature; every state mutation clears it.
+        self._signature: tuple | None = None
+
+    # -- layout binding ----------------------------------------------------------
+
+    def bind_layout(self, layout: AliasSpace) -> None:
+        """Re-encode the alias masks over another alias space.
+
+        The eddy binds every tuple entering its dataflow to its query's
+        compiled :class:`~repro.query.layout.PlanLayout`; a tuple created
+        against the fallback space has its masks translated.  A no-op when
+        the tuple is already bound to ``layout``.
+        """
+        old = self.layout
+        if layout is old:
+            return
+        self.layout = layout
+        self.spanned_mask = layout.mask_of(self.components)
+        if self.built_mask:
+            self.built_mask = layout.mask_of(old.aliases_of_mask(self.built_mask))
+        if self.resolved_mask:
+            self.resolved_mask = layout.mask_of(old.aliases_of_mask(self.resolved_mask))
+        if self.exhausted_mask:
+            self.exhausted_mask = layout.mask_of(old.aliases_of_mask(self.exhausted_mask))
+        self._signature = None
 
     # -- span and identity -----------------------------------------------------
 
@@ -213,21 +298,29 @@ class QTuple:
         aliases the tuple spans (a bind column is either equated to a column
         of a spanned alias or to a constant).
 
+        Every element is an int (or the bool/str scalars at the tail), the
+        masks being the TupleState itself, and the result is memoized on the
+        tuple until the next state mutation — repeated calls return the very
+        same object and allocate nothing.
+
         The last element is the tuple's *priority class* (prioritised or
         not): policy scores scale multiplicatively with the priority value,
         so the argmax over destinations only depends on the class.
         """
-        return (
-            frozenset(self.components),
-            frozenset(self.done),
-            frozenset(self.visits.items()),
-            frozenset(self.built),
-            frozenset(self.resolved),
-            frozenset(self.exhausted),
-            self.stop_stem_probes,
-            self.probe_completion_alias,
-            self.priority > 0.0,
-        )
+        signature = self._signature
+        if signature is None:
+            signature = self._signature = (
+                self.spanned_mask,
+                self.done_mask,
+                self.visits_token,
+                self.built_mask,
+                self.resolved_mask,
+                self.exhausted_mask,
+                self._stop_stem_probes,
+                self._probe_completion_alias,
+                self._priority > 0.0,
+            )
+        return signature
 
     def identity(self) -> tuple:
         """A hashable identity over (alias, table, values) of all components.
@@ -240,23 +333,87 @@ class QTuple:
             parts.append((alias, row.table, row.values))
         return tuple(parts)
 
+    # -- frozenset views over the masks ------------------------------------------
+
+    @property
+    def done(self) -> frozenset[int]:
+        """The predicate ids already verified (view over :attr:`done_mask`)."""
+        return frozenset(bit_positions(self.done_mask))
+
+    @property
+    def built(self) -> frozenset[str]:
+        """Aliases built into their SteM (view over :attr:`built_mask`)."""
+        return self.layout.aliases_of_mask(self.built_mask)
+
+    @property
+    def resolved(self) -> frozenset[str]:
+        """Resolved neighbour aliases (view over :attr:`resolved_mask`)."""
+        return self.layout.aliases_of_mask(self.resolved_mask)
+
+    @property
+    def exhausted(self) -> frozenset[str]:
+        """EOT-covered neighbour aliases (view over :attr:`exhausted_mask`)."""
+        return self.layout.aliases_of_mask(self.exhausted_mask)
+
+    # -- guarded scalar state (mutations invalidate the signature memo) ----------
+
+    @property
+    def priority(self) -> float:
+        """User-interest priority (paper §4.1)."""
+        return self._priority
+
+    @priority.setter
+    def priority(self, value: float) -> None:
+        self._priority = value
+        self._signature = None
+
+    @property
+    def stop_stem_probes(self) -> bool:
+        """True once a SteM probe produced results (n-ary SHJ discipline)."""
+        return self._stop_stem_probes
+
+    @stop_stem_probes.setter
+    def stop_stem_probes(self, value: bool) -> None:
+        self._stop_stem_probes = value
+        self._signature = None
+
+    @property
+    def probe_completion_alias(self) -> str | None:
+        """The probe completion table of a "prior prober" (definition 3)."""
+        return self._probe_completion_alias
+
+    @probe_completion_alias.setter
+    def probe_completion_alias(self, value: str | None) -> None:
+        self._probe_completion_alias = value
+        self._signature = None
+
     # -- TupleState updates ----------------------------------------------------
 
     def mark_done(self, predicates: Iterable[Predicate | int]) -> None:
         """Record that predicates have been verified on this tuple."""
-        for predicate in predicates:
-            if isinstance(predicate, int):
-                self.done.add(predicate)
-            else:
-                self.done.add(predicate.predicate_id)
+        mask = self.done_mask | _done_mask_of(predicates)
+        if mask != self.done_mask:
+            self.done_mask = mask
+            self._signature = None
+
     def is_done(self, predicate: Predicate) -> bool:
         """True if the predicate has already been verified."""
-        return predicate.predicate_id in self.done
+        return (self.done_mask >> predicate.predicate_id) & 1 == 1
 
     def record_visit(self, module_name: str) -> int:
         """Record a routing of this tuple to a module; return the new count."""
         count = self.visits.get(module_name, 0) + 1
+        if count > _MAX_VISITS_PER_MODULE:
+            # The packed token gives each module one byte; a carry into the
+            # next module's byte would silently collide routing signatures.
+            raise ExecutionError(
+                f"tuple visited {module_name!r} {count} times; the routing "
+                f"signature encodes at most {_MAX_VISITS_PER_MODULE} visits "
+                "per module (BoundedRepetition bounds real traffic far below this)"
+            )
         self.visits[module_name] = count
+        self.visits_token += 1 << (_module_slot(module_name) << 3)
+        self._signature = None
         return count
 
     def visit_count(self, module_name: str) -> int:
@@ -265,16 +422,31 @@ class QTuple:
 
     def mark_built(self, alias: str, timestamp: float) -> None:
         """Record that the component for ``alias`` was built at ``timestamp``."""
-        self.built.add(alias)
+        self.built_mask |= self.layout.bit_of(alias)
         self.timestamps[alias] = timestamp
+        self._signature = None
+
+    def has_built(self, alias: str) -> bool:
+        """True if the alias's component has been built into its SteM."""
+        return bool(self.built_mask & self.layout.peek_bit(alias))
 
     def mark_resolved(self, alias: str) -> None:
         """Record that matches from ``alias`` no longer need this tuple's help."""
-        self.resolved.add(alias)
+        self.resolved_mask |= self.layout.bit_of(alias)
+        self._signature = None
 
     def is_resolved(self, alias: str) -> bool:
         """True if the neighbour alias has been resolved for this tuple."""
-        return alias in self.resolved
+        return bool(self.resolved_mask & self.layout.peek_bit(alias))
+
+    def mark_exhausted(self, alias: str) -> None:
+        """Record that a SteM probe on ``alias`` was EOT-covered."""
+        self.exhausted_mask |= self.layout.bit_of(alias)
+        self._signature = None
+
+    def is_exhausted(self, alias: str) -> bool:
+        """True if AM probes on the alias can no longer yield new matches."""
+        return bool(self.exhausted_mask & self.layout.peek_bit(alias))
 
     # -- derivation -------------------------------------------------------------
 
@@ -288,8 +460,8 @@ class QTuple:
     ) -> "QTuple":
         """A new tuple with an additional base-table component.
 
-        The new tuple inherits the done bits, priority and source of this
-        tuple; per-module visit counts and resolution state start fresh
+        The new tuple inherits the done bits, priority, source and layout of
+        this tuple; per-module visit counts and resolution state start fresh
         (the concatenated tuple is a new unit of routing work).
         """
         if alias in self.components:
@@ -301,13 +473,14 @@ class QTuple:
         result = QTuple(
             components,
             timestamps=timestamps,
-            done=set(self.done) | set(extra_done),
             source=self.source,
-            priority=self.priority,
+            priority=self._priority,
             created_at=self.created_at if created_at is None else created_at,
             query_id=self.query_id,
+            layout=self.layout,
         )
-        result.built = set(self.built) | {alias}
+        result.done_mask = self.done_mask | _done_mask_of(extra_done)
+        result.built_mask = self.built_mask | result.layout.bit_of(alias)
         return result
 
     def __repr__(self) -> str:
@@ -355,7 +528,13 @@ class EOTTuple:
 
 
 def singleton_tuple(
-    alias: str, row: Row, source: str = "", created_at: float = 0.0
+    alias: str,
+    row: Row,
+    source: str = "",
+    created_at: float = 0.0,
+    layout: AliasSpace | None = None,
 ) -> QTuple:
     """Create a singleton :class:`QTuple` for a freshly delivered row."""
-    return QTuple({alias: row}, source=source, created_at=created_at)
+    return QTuple(
+        {alias: row}, source=source, created_at=created_at, layout=layout
+    )

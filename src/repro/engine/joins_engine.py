@@ -10,7 +10,7 @@ the comparison isolates the architectural difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ExecutionError, QueryError
@@ -24,11 +24,12 @@ from repro.core.modules.selection import SelectionModule
 from repro.core.policies import NaivePolicy, RoutingPolicy, make_policy
 from repro.core.tuples import QTuple, install_id_allocator
 from repro.engine.results import ExecutionResult, Series
+from repro.query.layout import PlanLayout
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.sim.simulator import Simulator
 from repro.sim.tracing import TraceLog
-from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
+from repro.storage.catalog import Catalog
 
 
 @dataclass(frozen=True)
@@ -90,25 +91,37 @@ def default_join_plan(query: Query, catalog: Catalog) -> list[JoinSpec]:
 
 
 class JoinPlanResolver:
-    """Destination resolver for the join-module architecture."""
+    """Destination resolver for the join-module architecture.
+
+    Like the :class:`~repro.core.constraints.ConstraintChecker`, it runs on
+    the query's compiled :class:`~repro.query.layout.PlanLayout`: selection
+    eligibility and output readiness are mask comparisons over the bitmask
+    TupleState rather than frozenset algebra.
+    """
 
     def __init__(
         self,
         query: Query,
         join_modules: Sequence[Module],
         selections: Sequence[SelectionModule],
+        layout: PlanLayout | None = None,
     ):
         self.query = query
         self.join_modules = list(join_modules)
         self.selections = list(selections)
+        self.layout = layout if layout is not None else PlanLayout(query)
+        self._selection_table = self.layout.selection_entries(self.selections)
 
     def destinations(self, tuple_: QTuple) -> list[Destination]:
+        if tuple_.layout is not self.layout:
+            tuple_.bind_layout(self.layout)
         result: list[Destination] = []
-        for module in self.selections:
-            predicate = module.predicate
+        spanned = tuple_.spanned_mask
+        done = tuple_.done_mask
+        for module, done_bit, required_mask in self._selection_table:
             if (
-                not tuple_.is_done(predicate)
-                and predicate.can_evaluate(tuple_.aliases)
+                not done & done_bit
+                and not required_mask & ~spanned
                 and tuple_.visit_count(module.name) == 0
             ):
                 result.append(Destination(module, "select", None, required=True))
@@ -126,9 +139,9 @@ class JoinPlanResolver:
     def ready_for_output(self, tuple_: QTuple) -> bool:
         if tuple_.failed:
             return False
-        if tuple_.aliases != self.query.aliases:
-            return False
-        return all(tuple_.is_done(p) for p in self.query.predicates)
+        if tuple_.layout is not self.layout:
+            tuple_.bind_layout(self.layout)
+        return self.layout.is_complete(tuple_.spanned_mask, tuple_.done_mask)
 
 
 class EddyJoinsEngine:
@@ -167,6 +180,7 @@ class EddyJoinsEngine:
         else:
             self.policy = policy
         self.plan = list(plan) if plan is not None else default_join_plan(self.query, catalog)
+        self.layout = PlanLayout(self.query)
         self.simulator = Simulator()
         self.eddy = Eddy(
             self.simulator,
@@ -174,7 +188,10 @@ class EddyJoinsEngine:
             cost_model=self.costs,
             batch_size=batch_size,
             trace=trace,
+            layout=self.layout,
         )
+        if trace is not None:
+            trace.attach_layout(self.layout)
         self._index_join_modules: list[IndexJoinModule] = []
         self._build_modules()
 
@@ -241,7 +258,9 @@ class EddyJoinsEngine:
             else:
                 raise ExecutionError(f"unknown join module kind {spec.kind!r}")
             self.eddy.register_join_module(module)
-        resolver = JoinPlanResolver(query, self.eddy.join_modules, self.eddy.selections)
+        resolver = JoinPlanResolver(
+            query, self.eddy.join_modules, self.eddy.selections, layout=self.layout
+        )
         self.eddy.set_resolver(resolver)
 
     def run(self, until: float | None = None) -> ExecutionResult:

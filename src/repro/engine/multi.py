@@ -15,7 +15,9 @@ What is shared, and what stays per query:
   constraint needs one total order over builds no matter which query did
   them), and the simulator clock.
 * **Per query** — the eddy and its ready queue, the routing policy, the
-  constraint checker and its destination-signature cache, selection and
+  constraint checker and its destination-signature cache, the compiled
+  :class:`~repro.query.layout.PlanLayout` (alias/predicate bit positions are
+  per query — see :meth:`MultiQueryEngine.layout_of`), selection and
   access modules, statistics, outputs, and traces.  Every dataflow tuple is
   stamped with its query's id on entry.
 
@@ -245,6 +247,16 @@ class MultiQueryEngine:
             if ctx.query_id == query_id:
                 return ctx.eddy
         raise ExecutionError(f"unknown query id {query_id!r}")
+
+    def layout_of(self, query_id: str):
+        """The compiled :class:`~repro.query.layout.PlanLayout` of one query.
+
+        Each admission compiles its own layout: alias/predicate bit
+        positions are per query, so two queries over the same tables can
+        disagree on bit assignments while sharing SteMs — only the masks'
+        *owning* query may interpret them.
+        """
+        return self.eddy_of(query_id).layout
 
     def run(self, until: float | None = None) -> MultiQueryResult:
         """Admit every query at its arrival time and run to quiescence."""

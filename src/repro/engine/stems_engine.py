@@ -35,6 +35,7 @@ from repro.core.tuples import install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.query.binding import validate_bindings
 from repro.query.joingraph import JoinGraph
+from repro.query.layout import PlanLayout
 from repro.query.parser import parse_query
 from repro.query.query import Query, TableRef
 from repro.sim.simulator import Simulator
@@ -57,10 +58,17 @@ def instantiate_stems_query(
     """Wire one query's modules onto an eddy (paper §2.2's five steps).
 
     Returns the :class:`ConstraintChecker` installed as the eddy's
-    destination resolver.
+    destination resolver.  As a compilation step the query's
+    :class:`~repro.query.layout.PlanLayout` — the dense alias/predicate bit
+    assignment the bitmask TupleState runs on — is built here and threaded
+    through the eddy, the checker, and the trace.
     """
     binding_plan = validate_bindings(query, catalog)
     join_graph = JoinGraph.from_query(query)
+    layout = PlanLayout(query, join_graph)
+    eddy.layout = layout
+    if eddy.trace is not None:
+        eddy.trace.attach_layout(layout)
     # SteMs: one module per alias (the factory decides whether the backing
     # SteM is private or shared).
     for ref in query.tables:
@@ -99,6 +107,7 @@ def instantiate_stems_query(
         scan_aliases=[
             alias for alias in query.alias_order if eddy.has_scan_am(alias)
         ],
+        layout=layout,
     )
     eddy.set_resolver(checker)
     return checker
@@ -222,6 +231,11 @@ class StemsEngine:
         )
 
     # -- construction -----------------------------------------------------------
+
+    @property
+    def layout(self) -> PlanLayout:
+        """The query's compiled :class:`PlanLayout` (shared with the eddy)."""
+        return self.eddy.layout
 
     def _make_stem_module(self, ref: TableRef, query: Query) -> SteMModule:
         return make_private_stem_module(

@@ -14,8 +14,8 @@ order used by the static baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.errors import BindingError
 from repro.query.expressions import ColumnRef, Literal

@@ -14,7 +14,7 @@ The join graph drives three things:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import QueryError

@@ -1,0 +1,253 @@
+"""PlanLayout: the dense integer domains a bound query is compiled into.
+
+Paper section 2.1 describes TupleState as a block of "done bits" plus
+per-alias flags.  The dataflow honours that literally: after binding, each
+query is compiled once into a :class:`PlanLayout` that assigns
+
+* every FROM-clause alias a single-bit position (FROM-clause order, so the
+  assignment is deterministic across runs for the same query text), and
+* every predicate a single-bit position (``1 << predicate_id``; the parser
+  renumbers each query's predicates ``1..n``, so these are dense and equally
+  deterministic),
+
+and precomputes the join-graph adjacency masks, per-predicate alias-
+requirement masks ("selection eligibility"), and per-span neighbour lists
+that destination resolution needs.  :class:`~repro.core.tuples.QTuple` then
+keeps its whole TupleState — spanned aliases, done bits, built/resolved/
+exhausted flags — as machine-word integers, and the
+:class:`~repro.core.constraints.ConstraintChecker` computes legal
+destinations with bitwise algebra (e.g. adjacent-unspanned =
+``adjacency_of(spanned) & ~spanned``) instead of frozenset algebra.
+
+Tuples created outside any engine (unit tests, notebooks) fall back to a
+process-wide :class:`DynamicAliasSpace` that interns aliases on first use;
+binding such a tuple to a real layout re-encodes its masks (see
+:meth:`QTuple.bind_layout`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph
+from repro.query.query import Query
+
+
+def bit_positions(mask: int) -> list[int]:
+    """The positions of the set bits of ``mask``, ascending."""
+    positions: list[int] = []
+    while mask:
+        low = mask & -mask
+        positions.append(low.bit_length() - 1)
+        mask ^= low
+    return positions
+
+
+class AliasSpace:
+    """A bidirectional mapping between alias names and single-bit integers.
+
+    Base class of :class:`PlanLayout` (fixed, compiled assignment) and
+    :class:`DynamicAliasSpace` (interned on first use).  Mask decoding is
+    memoized per mask value: the dataflow revisits the same handful of span
+    masks constantly, so views stay allocation-free after warm-up.
+    """
+
+    def __init__(self) -> None:
+        self._bits: dict[str, int] = {}
+        self._names: list[str] = []  # bit position -> alias name
+        self._decode_memo: dict[int, frozenset[str]] = {}
+
+    # -- encoding ---------------------------------------------------------------
+
+    def bit_of(self, alias: str) -> int:
+        """The single-bit mask assigned to an alias (see ``_missing``)."""
+        bit = self._bits.get(alias)
+        if bit is None:
+            bit = self._missing(alias)
+        return bit
+
+    def peek_bit(self, alias: str) -> int:
+        """Like :meth:`bit_of`, but 0 for unknown aliases (read-side tests)."""
+        return self._bits.get(alias, 0)
+
+    def mask_of(self, aliases: Iterable[str]) -> int:
+        """The OR of the bits of every alias given."""
+        mask = 0
+        for alias in aliases:
+            bit = self._bits.get(alias)
+            mask |= bit if bit is not None else self._missing(alias)
+        return mask
+
+    def _missing(self, alias: str) -> int:
+        raise NotImplementedError
+
+    # -- decoding ---------------------------------------------------------------
+
+    def aliases_of_mask(self, mask: int) -> frozenset[str]:
+        """The alias names encoded by ``mask`` (memoized per mask)."""
+        cached = self._decode_memo.get(mask)
+        if cached is None:
+            names = self._names
+            cached = frozenset(names[position] for position in bit_positions(mask))
+            self._decode_memo[mask] = cached
+        return cached
+
+    @property
+    def alias_bits(self) -> dict[str, int]:
+        """The alias -> bit assignment (treat as read-only)."""
+        return self._bits
+
+
+class DynamicAliasSpace(AliasSpace):
+    """An alias space that interns aliases in first-use order.
+
+    The fallback space of tuples created outside any engine.  Consistency is
+    what matters (every unbound tuple in the process shares one space, so
+    their masks are mutually comparable); the bit order is whatever the
+    process touched first.
+    """
+
+    def _missing(self, alias: str) -> int:
+        bit = 1 << len(self._names)
+        self._bits[alias] = bit
+        self._names.append(alias)
+        return bit
+
+
+class PlanLayout(AliasSpace):
+    """The compiled integer domains of one bound query.
+
+    Args:
+        query: the query to compile.
+        join_graph: the query's join graph; derived from the query when not
+            supplied (engines pass the one they already built).
+
+    Attributes:
+        alias_order: aliases in FROM-clause order — alias ``i`` holds bit
+            ``1 << i``.
+        all_alias_mask: the mask spanning every alias (a finished tuple's
+            ``spanned_mask``).
+        adjacency: per-alias join-graph neighbour mask.
+        predicate_bits: predicate id -> done-bit mask (``1 << predicate_id``).
+        all_predicate_mask: the done mask of a tuple that passed everything.
+        predicate_alias_masks: predicate id -> mask of the aliases the
+            predicate references (its evaluation requirement); for selection
+            predicates this is the paper's selection-eligibility mask.
+    """
+
+    def __init__(self, query: Query, join_graph: JoinGraph | None = None):
+        super().__init__()
+        self.query = query
+        self.join_graph = join_graph if join_graph is not None else JoinGraph.from_query(query)
+        self.alias_order: tuple[str, ...] = query.alias_order
+        for position, alias in enumerate(self.alias_order):
+            self._bits[alias] = 1 << position
+            self._names.append(alias)
+        self.all_alias_mask: int = (1 << len(self.alias_order)) - 1
+        self.adjacency: dict[str, int] = {
+            alias: self.mask_of(self.join_graph.neighbors(alias))
+            for alias in self.alias_order
+        }
+        self._adjacency_by_position: tuple[int, ...] = tuple(
+            self.adjacency[alias] for alias in self.alias_order
+        )
+        self.predicate_bits: dict[int, int] = {
+            predicate.predicate_id: 1 << predicate.predicate_id
+            for predicate in query.predicates
+        }
+        all_predicates = 0
+        for bit in self.predicate_bits.values():
+            all_predicates |= bit
+        self.all_predicate_mask: int = all_predicates
+        self.predicate_alias_masks: dict[int, int] = {
+            predicate.predicate_id: self.mask_of(predicate.aliases())
+            for predicate in query.predicates
+        }
+        #: Memo: spanned mask -> lexicographically sorted adjacent-unspanned
+        #: alias names.  Bounded by 2^|aliases| entries, but in practice only
+        #: the spans the dataflow actually produces are ever materialised.
+        self._adjacent_unspanned_memo: dict[int, tuple[str, ...]] = {}
+
+    def _missing(self, alias: str) -> int:
+        raise QueryError(
+            f"alias {alias!r} is not part of query {self.query.name!r} "
+            f"(layout aliases: {list(self.alias_order)})"
+        )
+
+    # -- adjacency --------------------------------------------------------------
+
+    def adjacency_of(self, spanned_mask: int) -> int:
+        """The union of the neighbour masks of every spanned alias."""
+        adjacency = 0
+        by_position = self._adjacency_by_position
+        mask = spanned_mask
+        while mask:
+            low = mask & -mask
+            adjacency |= by_position[low.bit_length() - 1]
+            mask ^= low
+        return adjacency
+
+    def adjacent_unspanned(self, spanned_mask: int) -> tuple[str, ...]:
+        """Join-graph neighbours of the span that the span does not cover.
+
+        Returned as lexicographically sorted alias names (the iteration
+        order destination resolution has always used), memoized per span.
+        """
+        cached = self._adjacent_unspanned_memo.get(spanned_mask)
+        if cached is None:
+            mask = self.adjacency_of(spanned_mask) & ~spanned_mask & self.all_alias_mask
+            cached = tuple(sorted(self.aliases_of_mask(mask)))
+            self._adjacent_unspanned_memo[spanned_mask] = cached
+        return cached
+
+    # -- predicates -------------------------------------------------------------
+
+    def selection_entries(self, modules) -> tuple[tuple[object, int, int], ...]:
+        """Bitwise evaluation rows ``(module, done_bit, requirement_mask)``.
+
+        One row per selection module: the module's predicate is eligible on a
+        tuple iff its done bit is clear in the tuple's ``done_mask`` and its
+        alias-requirement mask is a subset of the tuple's ``spanned_mask``.
+        Shared by the :class:`~repro.core.constraints.ConstraintChecker` and
+        the Fig. 1(b) :class:`~repro.engine.joins_engine.JoinPlanResolver` so
+        the eligibility encoding lives in exactly one place.
+        """
+        return tuple(
+            (
+                module,
+                1 << module.predicate.predicate_id,
+                self.mask_of(module.predicate.aliases()),
+            )
+            for module in modules
+        )
+
+    def is_complete(self, spanned_mask: int, done_mask: int) -> bool:
+        """Output readiness: all aliases spanned and all predicates done."""
+        return (
+            spanned_mask == self.all_alias_mask
+            and (done_mask & self.all_predicate_mask) == self.all_predicate_mask
+        )
+
+    def predicate_evaluable(self, predicate_id: int, spanned_mask: int) -> bool:
+        """True if the span covers every alias the predicate references."""
+        required = self.predicate_alias_masks.get(predicate_id)
+        if required is None:
+            raise QueryError(f"unknown predicate id {predicate_id}")
+        return not (required & ~spanned_mask)
+
+    # -- introspection ----------------------------------------------------------
+
+    def describe_mask(self, mask: int) -> str:
+        """Human-readable rendering of an alias mask (for traces/debugging)."""
+        return "+".join(sorted(self.aliases_of_mask(mask))) or "-"
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanLayout({self.query.name!r}, aliases={list(self.alias_order)}, "
+            f"predicates={len(self.predicate_bits)})"
+        )
+
+
+#: The process-wide fallback space of tuples not bound to any engine layout.
+FALLBACK_ALIAS_SPACE = DynamicAliasSpace()

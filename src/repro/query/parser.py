@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.errors import ParseError
 from repro.query.expressions import ColumnRef, Expression, Literal

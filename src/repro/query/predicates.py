@@ -15,7 +15,6 @@ from __future__ import annotations
 import itertools
 import operator
 import re
-from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import QueryError

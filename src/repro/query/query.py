@@ -8,7 +8,7 @@ in the paper ("implemented above the eddy").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import QueryError, UnknownTableError

@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 
 @dataclass(order=True)
@@ -33,12 +33,25 @@ class Event:
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects."""
+    """A priority queue of :class:`Event` objects.
+
+    Cancellation is lazy — a cancelled event stays in the heap and is
+    skipped when it reaches the top — but not *unbounded*: once cancelled
+    entries outnumber live ones the heap is compacted in place, so
+    long-running simulations that cancel many events (multi-query runs
+    tearing down per-query timers) neither leak memory nor pay O(dead) on
+    every :meth:`peek_time`.
+    """
+
+    #: Don't bother compacting heaps smaller than this; the win is noise.
+    _COMPACT_THRESHOLD = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._sequence = itertools.count()
         self._live = 0
+        #: Cancelled events still sitting in the heap.
+        self._dead = 0
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule a callback at an absolute virtual time."""
@@ -53,6 +66,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             return event
@@ -62,6 +76,7 @@ class EventQueue:
         """The time of the earliest non-cancelled event, or None if empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1
         if not self._heap:
             return None
         return self._heap[0].time
@@ -71,6 +86,22 @@ class EventQueue:
         if not event.cancelled:
             event.cancel()
             self._live -= 1
+            self._dead += 1
+            if (
+                self._dead >= self._COMPACT_THRESHOLD
+                and self._dead * 2 > len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event and restore the heap invariant.
+
+        O(live) — amortised O(1) per cancellation, because a compaction
+        only fires after at least half the heap has died.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live

@@ -8,7 +8,7 @@ paper's figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Iterator
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,20 @@ class TraceLog:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._records: list[TraceRecord] = []
+        #: The query's compiled :class:`~repro.query.layout.PlanLayout`,
+        #: attached by the engine that owns this trace so readers can decode
+        #: bitmask TupleState (spans, done bits) back into names.
+        self.layout = None
+
+    def attach_layout(self, layout) -> None:
+        """Attach the PlanLayout of the query this trace records."""
+        self.layout = layout
+
+    def describe_span(self, mask: int) -> str:
+        """Render an alias mask through the attached layout (or as hex)."""
+        if self.layout is None:
+            return hex(mask)
+        return self.layout.describe_mask(mask)
 
     def record(self, time: float, kind: str, detail: Any = None) -> None:
         """Append a record (no-op when disabled)."""

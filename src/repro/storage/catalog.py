@@ -10,7 +10,7 @@ these specs by ``repro.core.modules.access``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import CatalogError, DuplicateTableError, UnknownTableError

@@ -6,7 +6,7 @@ immutable; operations like projection and concatenation return new schemas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
-from repro.storage.indexes import HashIndex, RowIndex, SortedIndex, build_index
+from repro.storage.indexes import HashIndex, RowIndex, build_index
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 

@@ -1,6 +1,5 @@
 """Tests for the benchmark harness: workloads, series, and text reports."""
 
-import pytest
 
 from repro.bench.report import (
     comparison_summary,

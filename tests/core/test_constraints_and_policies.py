@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import RoutingViolationError
-from repro.core.constraints import ConstraintChecker, Destination
+from repro.core.constraints import Destination
 from repro.core.policies import (
     BenefitPolicy,
     LotteryPolicy,
@@ -17,7 +17,6 @@ from repro.core.policies import (
 from repro.core.policies.base import order_by_action, split_required
 from repro.engine.stems_engine import StemsEngine
 from repro.core.tuples import singleton_tuple
-from repro.query.parser import parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_s, make_source_t
 
@@ -135,7 +134,7 @@ class TestConstraintChecker:
         tuple_ = r_singleton(engine)
         tuple_.mark_built("R", 1.0)
         tuple_.record_visit("stem:S")
-        tuple_.exhausted.add("S")
+        tuple_.mark_exhausted("S")
         assert all(d.target_alias != "S" for d in checker.destinations(tuple_))
 
     def test_selection_destinations(self):

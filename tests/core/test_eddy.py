@@ -9,13 +9,10 @@ from repro.core.modules.selection import SelectionModule
 from repro.core.policies import NaivePolicy
 from repro.core.tuples import singleton_tuple
 from repro.engine.stems_engine import StemsEngine
-from repro.query.parser import parse_query
 from repro.query.predicates import selection
 from repro.sim.simulator import Simulator
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_t
-from repro.storage.row import Row
-from repro.storage.schema import Schema
 
 
 def small_engine(**kwargs) -> StemsEngine:

@@ -15,7 +15,7 @@ from repro.core.modules.stem_module import SteMModule
 from repro.core.stem import SteM
 from repro.core.tuples import EOTTuple, QTuple, singleton_tuple
 from repro.query.parser import parse_query
-from repro.query.predicates import equi_join, selection
+from repro.query.predicates import selection
 from repro.sim.simulator import Simulator
 from repro.storage.catalog import IndexSpec, ScanSpec
 from repro.storage.datagen import make_source_s, make_source_t

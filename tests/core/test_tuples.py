@@ -77,6 +77,18 @@ class TestTupleState:
         assert tuple_.record_visit("stem:S") == 2
         assert tuple_.visit_count("stem:S") == 2
 
+    def test_visit_counts_beyond_the_token_byte_are_rejected(self):
+        # The packed visits_token gives each module one byte; a silent carry
+        # into a neighbouring module's byte would collide routing signatures.
+        from repro.core.tuples import _MAX_VISITS_PER_MODULE
+
+        tuple_ = singleton_tuple("R", r_row())
+        for _ in range(_MAX_VISITS_PER_MODULE):
+            tuple_.record_visit("stem:S")
+        with pytest.raises(ExecutionError):
+            tuple_.record_visit("stem:S")
+        assert tuple_.visit_count("stem:S") == _MAX_VISITS_PER_MODULE
+
     def test_mark_built_updates_timestamp(self):
         tuple_ = singleton_tuple("R", r_row())
         tuple_.mark_built("R", 17.0)
@@ -132,6 +144,79 @@ class TestEOT:
         )
         assert not eot.is_scan_eot
         assert "x=15" in repr(eot)
+
+
+class TestRoutingSignatureMemo:
+    """routing_signature() is memoized on the tuple and every state
+    mutation invalidates it — a stale signature would poison both the
+    batched eddy's grouping and the destination-signature cache."""
+
+    def test_repeated_calls_return_the_same_object(self):
+        tuple_ = singleton_tuple("R", r_row())
+        first = tuple_.routing_signature()
+        assert tuple_.routing_signature() is first  # no per-call allocation
+
+    def test_signature_elements_are_scalars(self):
+        tuple_ = singleton_tuple("R", r_row())
+        tuple_.mark_built("R", 1.0)
+        tuple_.record_visit("stem:S")
+        assert all(
+            isinstance(part, (int, bool, str, type(None)))
+            for part in tuple_.routing_signature()
+        )
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda t: t.mark_done([selection("R.a", "<", 100)]),
+            lambda t: t.record_visit("stem:S"),
+            lambda t: t.mark_built("R", 1.0),
+            lambda t: t.mark_resolved("S"),
+            lambda t: t.mark_exhausted("S"),
+            lambda t: setattr(t, "stop_stem_probes", True),
+            lambda t: setattr(t, "probe_completion_alias", "S"),
+            lambda t: setattr(t, "priority", 2.0),
+        ],
+        ids=[
+            "mark_done", "record_visit", "mark_built", "mark_resolved",
+            "mark_exhausted", "stop_stem_probes", "probe_completion", "priority",
+        ],
+    )
+    def test_mutation_after_caching_yields_a_fresh_signature(self, mutate):
+        tuple_ = singleton_tuple("R", r_row())
+        before = tuple_.routing_signature()
+        mutate(tuple_)
+        after = tuple_.routing_signature()
+        assert after is not before
+        assert after != before
+
+    def test_noop_mark_done_keeps_the_memo(self):
+        predicate = selection("R.a", "<", 100)
+        tuple_ = singleton_tuple("R", r_row())
+        tuple_.mark_done([predicate])
+        cached = tuple_.routing_signature()
+        tuple_.mark_done([predicate])  # already done: no state change
+        assert tuple_.routing_signature() is cached
+
+    def test_bind_layout_invalidates_the_memo(self):
+        from repro.query.layout import PlanLayout
+        from repro.query.parser import parse_query
+
+        tuple_ = singleton_tuple("R", r_row())
+        tuple_.mark_built("R", 1.0)
+        before = tuple_.routing_signature()
+        layout = PlanLayout(parse_query("SELECT * FROM R WHERE R.a < 5"))
+        tuple_.bind_layout(layout)
+        assert tuple_.routing_signature() is not before
+
+    def test_equal_state_tuples_share_a_signature_value(self):
+        first = singleton_tuple("R", r_row(key=1))
+        second = singleton_tuple("R", r_row(key=2))
+        for tuple_ in (first, second):
+            tuple_.mark_built("R", 1.0)
+            tuple_.record_visit("stem:S")
+        # Values (key 1 vs 2) differ; routing state does not.
+        assert first.routing_signature() == second.routing_signature()
 
 
 class TestTupleIdAllocation:

@@ -8,7 +8,6 @@ from repro.errors import ExecutionError
 from repro.core.stem_registry import SteMRegistry
 from repro.engine.multi import MultiQueryEngine, QueryAdmission, run_multi
 from repro.engine.stems_engine import run_stems
-from repro.query.parser import parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_s, make_source_t
 

@@ -101,7 +101,7 @@ def test_theta_join_falls_back_to_nested_loops():
     right = s_input([(3, 3)])
     operator = NestedLoopsJoin(predicates, {"R"}, {"S"})
     results = list(operator.join(left, right))
-    assert len(results) == 1 and results[0]["R"]["a"] == 1 is not None
+    assert len(results) == 1 and results[0]["R"]["a"] == 1
     assert results[0]["R"]["a"] < results[0]["S"]["x"]
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import QueryError, UnknownTableError
 from repro.query.joingraph import JoinGraph
 from repro.query.parser import parse_query
-from repro.query.predicates import equi_join, selection
+from repro.query.predicates import equi_join
 from repro.query.query import Query, TableRef
 
 

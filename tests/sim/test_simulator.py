@@ -57,6 +57,53 @@ class TestEventQueue:
         assert queue.pop() is None
 
 
+class TestEventHeapCompaction:
+    """Cancelled events are evicted once they dominate the heap."""
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(500)]
+        # Cancel everything but the last few: without compaction the dead
+        # entries would sit in the heap until popped.
+        for event in events[:-5]:
+            queue.cancel(event)
+        assert len(queue) == 5
+        assert len(queue._heap) <= len(queue) + EventQueue._COMPACT_THRESHOLD
+
+    def test_compaction_preserves_order_and_liveness(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda i=i: i) for i in range(300)]
+        for i, event in enumerate(events):
+            if i % 3:  # cancel two thirds, triggering compaction en route
+                queue.cancel(event)
+        survivors = []
+        while queue:
+            survivors.append(queue.pop().time)
+        assert survivors == [float(i) for i in range(300) if not i % 3]
+        assert queue.pop() is None  # sweeps any trailing cancelled entries
+        assert queue._dead == 0 and not queue._heap
+
+    def test_small_heaps_are_not_compacted(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:8]:
+            queue.cancel(event)
+        # Below the threshold: lazy cancellation only, no rebuild churn.
+        assert len(queue._heap) == 10
+        assert queue.peek_time() == 8.0
+
+    def test_peek_and_pop_keep_the_dead_count_exact(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0  # sweeps the cancelled head
+        assert queue._dead == 0
+        queue.cancel(second)
+        assert queue.pop() is None
+        assert queue._dead == 0
+
+
 class TestSimulator:
     def test_schedule_and_run(self):
         sim = Simulator()
