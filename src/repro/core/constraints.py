@@ -27,7 +27,11 @@ rules with integer algebra over the query's compiled
 :class:`~repro.query.layout.PlanLayout`: adjacent-unspanned aliases are
 ``adjacency_of(spanned) & ~spanned``, selection eligibility is one AND per
 predicate against its precomputed alias-requirement mask, and output
-readiness is two mask comparisons.
+readiness is two mask comparisons.  The remaining per-destination work —
+``IndexAMModule.bind_key``, consulted here for every candidate AM — runs
+over bind sources precompiled by
+:func:`~repro.query.probeplan.compile_bind_sources` rather than a scan of
+the predicate objects.
 """
 
 from __future__ import annotations

@@ -20,8 +20,8 @@ from typing import Any, Sequence
 
 from repro.core.modules.base import Module, Routable
 from repro.core.tuples import EOTTuple, QTuple, singleton_tuple
-from repro.query.expressions import ColumnRef
-from repro.query.predicates import Comparison, Predicate
+from repro.query.predicates import Predicate
+from repro.query.probeplan import bind_key_from_sources, compile_bind_sources
 from repro.sim.latency import AvailabilityModel, ConstantLatency, LatencyModel
 from repro.storage.catalog import IndexSpec, ScanSpec
 from repro.storage.table import Table
@@ -179,6 +179,14 @@ class IndexAMModule(Module):
         self.predicates = tuple(predicates)
         self.latency = latency or ConstantLatency(spec.latency)
         self.availability = availability or AvailabilityModel.always_available()
+        # Bind-column derivation compiled once: the predicates are static,
+        # so the per-probe isinstance/column_for scan of the predicate list
+        # collapses to a precomputed source walk (bind_key is also called by
+        # the constraint checker for every destination resolution, so this
+        # is a routing-layer hot path, not just a probe-time one).
+        self._bind_sources = compile_bind_sources(
+            self.predicates, alias, spec.columns
+        )
         # Static event label, precomputed once (scheduled per lookup).
         self._lookup_label = f"{self.name}:lookup"
         self._pending_keys: set[tuple[Any, ...]] = set()
@@ -197,30 +205,11 @@ class IndexAMModule(Module):
         """Derive the index key from a probe tuple, or None if unbindable.
 
         Each bind column must be equated (by a query predicate) either to a
-        column of an alias the probe spans, or to a constant.
+        column of an alias the probe spans, or to a constant.  The
+        derivation runs over sources precompiled at construction (see
+        :func:`~repro.query.probeplan.compile_bind_sources`).
         """
-        values: list[Any] = []
-        for column in self.spec.columns:
-            value = self._bind_column(probe, column)
-            if value is _UNBOUND:
-                return None
-            values.append(value)
-        return tuple(values)
-
-    def _bind_column(self, probe: QTuple, column: str) -> Any:
-        for predicate in self.predicates:
-            if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
-                continue
-            own = predicate.column_for(self.alias)
-            if own is None or own.column != column:
-                continue
-            other = predicate.other_side(self.alias)
-            if isinstance(other, ColumnRef):
-                if other.alias in probe.components:
-                    return probe.value(other.alias, other.column)
-            else:
-                return other.evaluate(probe.components)
-        return _UNBOUND
+        return bind_key_from_sources(self._bind_sources, probe.components)
 
     def process(self, item: Routable) -> list[Routable]:
         assert self.runtime is not None
@@ -313,13 +302,3 @@ class IndexAMModule(Module):
         per_lookup = self.latency.mean
         waiting = self.outstanding_lookups / max(self.spec.concurrency, 1)
         return (waiting + 1) * per_lookup
-
-
-class _Unbound:
-    """Sentinel distinguishing 'no binding found' from a bound None value."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return "<unbound>"
-
-
-_UNBOUND = _Unbound()

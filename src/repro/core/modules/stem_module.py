@@ -17,6 +17,7 @@ from repro.core.modules.base import Module, Routable
 from repro.core.stem import SteM
 from repro.core.tuples import EOTTuple, QTuple
 from repro.query.predicates import Predicate
+from repro.query.probeplan import ProbePlan, compiled_probes_enabled
 
 
 class SteMModule(Module):
@@ -35,6 +36,10 @@ class SteMModule(Module):
             SteM's aliases.  When the SteM is shared across queries it
             accumulates every query's aliases, so each module must restrict
             itself to its own query's view.
+        compiled_probes: route probes through compiled
+            :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
+            the interpreted predicate walk; None resolves from the
+            ``REPRO_INTERPRETED_PROBES`` environment escape hatch.
     """
 
     kind = "stem"
@@ -47,6 +52,7 @@ class SteMModule(Module):
         probe_cost: float = 2e-4,
         name: str | None = None,
         aliases: Sequence[str] | None = None,
+        compiled_probes: bool | None = None,
     ):
         super().__init__(name or stem.name, cost=probe_cost)
         self.stem = stem
@@ -54,6 +60,14 @@ class SteMModule(Module):
         self.predicates = tuple(predicates)
         self.build_cost = build_cost
         self.probe_cost = probe_cost
+        self.compiled_probes = (
+            compiled_probes_enabled() if compiled_probes is None else compiled_probes
+        )
+        #: Module-local fallback plan cache (see :meth:`probe_plan_for`):
+        #: engine tuples cache their plans on their query's PlanLayout; only
+        #: tuples on the process-wide fallback alias space land here.
+        self._probe_plans: dict[tuple, ProbePlan] = {}
+        self._plans_layout = None
         self.stats.update({"builds": 0, "probes": 0, "results": 0, "duplicates": 0})
 
     # -- service ------------------------------------------------------------------
@@ -120,13 +134,10 @@ class SteMModule(Module):
         if target is None:
             # Nothing to extend toward (e.g. self-join fully spanned): no-op.
             return [item]
-        predicates = [
-            predicate
-            for predicate in self.predicates
-            if not item.is_done(predicate)
-            and predicate.can_evaluate(item.aliases | {target})
-        ]
-        outcome = self.stem.probe(item, target, predicates)
+        if self.compiled_probes:
+            outcome = self.stem.probe_with_plan(item, self.probe_plan_for(item, target))
+        else:
+            outcome = self.stem.probe(item, target, self._pending_predicates(item, target))
         self.stats["results"] += len(outcome.results)
         if outcome.results:
             # n-ary SHJ discipline: once a probe produced concatenations, the
@@ -156,6 +167,48 @@ class SteMModule(Module):
             if alias not in item.aliases:
                 return alias
         return None
+
+    def _pending_predicates(self, item: QTuple, target: str) -> list[Predicate]:
+        """The not-yet-done predicates evaluable once ``target`` is filled."""
+        return [
+            predicate
+            for predicate in self.predicates
+            if not item.is_done(predicate)
+            and predicate.can_evaluate(item.aliases | {target})
+        ]
+
+    def probe_plan_for(self, item: QTuple, target: str | None = None) -> ProbePlan:
+        """The compiled :class:`ProbePlan` for a tuple's probe situation.
+
+        Plans are memoized per ``(module, spanned_mask, done_mask)`` on the
+        tuple's :class:`~repro.query.layout.PlanLayout`: every tuple of one
+        routing-signature group (and every later tuple in the same
+        situation) reuses the plan, so a whole delivered batch pays for one
+        dictionary hit instead of re-deriving bindings per tuple — and the
+        cache lives with the query layout whose bit assignment the masks
+        are encoded over, so queries sharing this SteM never mix plans.
+        Tuples on the fallback alias space (bare unit-test setups) use a
+        module-local cache instead, dropped whenever the space changes.
+        """
+        cache = getattr(item.layout, "probe_plans", None)
+        if cache is None:
+            if item.layout is not self._plans_layout:
+                self._probe_plans.clear()
+                self._plans_layout = item.layout
+            cache = self._probe_plans
+        key = (self.name, item.spanned_mask, item.done_mask)
+        plan = cache.get(key)
+        if plan is None:
+            if target is None:
+                target = self._probe_target(item)
+            plan = ProbePlan.compile(
+                self._pending_predicates(item, target),
+                target,
+                item.components,
+                target_schema=self.stem.row_schema,
+            )
+            cache[key] = plan
+        return plan
 
     def _notice_seal(self) -> None:
         """Report the SteM sealing as a liveness change to the runtime(s)."""
@@ -220,6 +273,7 @@ class SharedSteMModule(SteMModule):
         registry=None,
         build_cost: float = 1e-4,
         probe_cost: float = 2e-4,
+        compiled_probes: bool | None = None,
     ):
         super().__init__(
             stem,
@@ -228,6 +282,7 @@ class SharedSteMModule(SteMModule):
             probe_cost=probe_cost,
             name=f"stem:{alias}",
             aliases=(alias,),
+            compiled_probes=compiled_probes,
         )
         self.registry = registry
         #: Rows this query's dataflow has already built or bounced back.

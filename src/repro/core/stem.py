@@ -31,8 +31,10 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.errors import ExecutionError
 from repro.query.expressions import ColumnRef
 from repro.query.predicates import Comparison, Predicate
+from repro.query.probeplan import ProbePlan
 from repro.storage.indexes import RowIndex, build_index
 from repro.storage.row import Row
+from repro.storage.schema import Schema
 from repro.core.tuples import EOTTuple, QTuple
 
 
@@ -112,8 +114,20 @@ class SteM:
         # EOT state: per-AM scan completion, and per-key coverage.
         self._scan_complete: set[str] = set()
         self._eot_keys: dict[tuple[str, ...], set[tuple[Any, ...]]] = {}
+        #: Smallest/largest build timestamp stored, maintained incrementally
+        #: on build; an eviction that removes an extreme marks them stale and
+        #: the next property read recomputes (the only remaining O(n) case).
         self._min_timestamp: float | None = None
         self._max_timestamp: float | None = None
+        self._timestamps_stale = False
+        #: Schema of the stored rows (every row of one base table carries
+        #: the table's schema); recorded on first build, kept across
+        #: evictions, and used to finish compiled probe plans.
+        self._row_schema: Schema | None = None
+        #: Bumped whenever the set of secondary indexes changes
+        #: (``ensure_join_columns``); compiled probe plans re-resolve their
+        #: indexed bindings when the epoch moves.
+        self.index_epoch = 0
         #: Callbacks invoked with each evicted row.  Sharing wrappers use
         #: this to forget per-query bookkeeping about rows that left the
         #: window, so a re-delivered row re-enters the dataflow instead of
@@ -155,6 +169,7 @@ class SteM:
             for row in self._rows:
                 index.insert(row)
             self._indexes[column] = index
+            self.index_epoch += 1
             if column not in self.join_columns:
                 self.join_columns = self.join_columns + (column,)
 
@@ -179,12 +194,26 @@ class SteM:
         self._rows[row] = timestamp
         for index in self._indexes.values():
             index.insert(row)
-        if self._min_timestamp is None:
+        if self._row_schema is None:
+            self._row_schema = row.schema
+        if self._min_timestamp is None or timestamp < self._min_timestamp:
             self._min_timestamp = timestamp
-        self._max_timestamp = timestamp
+        if self._max_timestamp is None or timestamp > self._max_timestamp:
+            self._max_timestamp = timestamp
         if self.max_size is not None and len(self._rows) > self.max_size:
             self._evict_oldest()
         return BuildOutcome(duplicate=False, timestamp=timestamp)
+
+    def build_batch(
+        self, rows: Sequence[Row], timestamps: Sequence[float]
+    ) -> list[BuildOutcome]:
+        """Build many rows in one call (one ``zip`` walk, no per-row setup).
+
+        The batch counterpart of :meth:`build` for callers that already hold
+        a delivered batch; outcomes are positionally aligned with ``rows``.
+        """
+        build = self.build
+        return [build(row, timestamp) for row, timestamp in zip(rows, timestamps)]
 
     def build_eot(self, eot: EOTTuple) -> None:
         """Insert an End-Of-Transmission tuple.
@@ -265,9 +294,151 @@ class SteM:
             )
         self.stats["matches"] += len(outcome.results)
         outcome.all_matches_known = self.covers(bindings)
-        if update_last_match and self._max_timestamp is not None:
-            probe.last_match_ts[self.name] = max(floor, self._max_timestamp)
+        if update_last_match:
+            max_timestamp = self.max_timestamp
+            if max_timestamp is not None:
+                probe.last_match_ts[self.name] = max(floor, max_timestamp)
         return outcome
+
+    def probe_with_plan(
+        self,
+        probe: QTuple,
+        plan: ProbePlan,
+        enforce_timestamp: bool = True,
+        update_last_match: bool = False,
+    ) -> ProbeOutcome:
+        """:meth:`probe` through a compiled :class:`ProbePlan`.
+
+        Semantically identical to the interpreted path (same results in the
+        same order, same coverage verdict, same ``suppressed_by_timestamp``
+        and ``candidates_examined`` accounting) but the per-candidate loop
+        touches no dicts, resolves no column names, and walks no predicate
+        trees: bindings come from the plan's precompiled extractors, and
+        each comparison is one positional read per side plus one operator
+        call.  Predicates the compiler could not lower (anything that is
+        not a plain comparison or IN list) run through the plan's generic
+        fallback, which allocates the merged mapping the interpreted path
+        always paid for.
+        """
+        target_alias = plan.target_alias
+        if target_alias in probe.aliases:
+            raise ExecutionError(
+                f"probe already spans {target_alias!r}; cannot probe {self.name}"
+            )
+        if target_alias not in self.aliases:
+            raise ExecutionError(
+                f"alias {target_alias!r} is not served by {self.name}"
+            )
+        self.stats["probes"] += 1
+        outcome = ProbeOutcome()
+
+        components = probe.components
+        binding_values = plan.bind_values(components)
+        candidates = self._plan_candidates(plan, binding_values)
+        rows = self._rows
+        floor = probe.last_match_ts.get(self.name, float("-inf"))
+        probe_timestamp = probe.timestamp
+
+        checks = plan.cmp_checks
+        if checks is None and self._row_schema is not None:
+            # Lazy finish: target positions need the stored rows' schema,
+            # unknown while the SteM was empty at compile time.
+            plan.finish(self._row_schema)
+            checks = plan.cmp_checks
+        cmp_bound = plan.bind_checks(components) if checks else ()
+        in_bound = plan.bind_in_checks(components) if plan.in_checks else ()
+        generic = plan.generic_predicates
+        done_ids = plan.done_ids
+        results = outcome.results
+        examined = 0
+        suppressed = 0
+        for row in candidates:
+            examined += 1
+            row_timestamp = rows[row]
+            if row_timestamp <= floor:
+                continue
+            values = row.values
+            passed = True
+            for op, l_pos, l_val, r_pos, r_val in cmp_bound:
+                left = values[l_pos] if l_pos >= 0 else l_val
+                right = values[r_pos] if r_pos >= 0 else r_val
+                if left is None or right is None:
+                    passed = False
+                    break
+                try:
+                    if not op(left, right):
+                        passed = False
+                        break
+                except TypeError:
+                    passed = False
+                    break
+            if passed and in_bound:
+                for pos, bound_value, members in in_bound:
+                    if (values[pos] if pos >= 0 else bound_value) not in members:
+                        passed = False
+                        break
+            if passed and generic:
+                merged = {**components, target_alias: row}
+                for predicate in generic:
+                    if not predicate.evaluate(merged):
+                        passed = False
+                        break
+            if not passed:
+                continue
+            if enforce_timestamp and not probe_timestamp > row_timestamp:
+                suppressed += 1
+                continue
+            results.append(
+                probe.extended(target_alias, row, row_timestamp, extra_done=done_ids)
+            )
+        outcome.candidates_examined = examined
+        outcome.suppressed_by_timestamp = suppressed
+        self.stats["matches"] += len(results)
+        outcome.all_matches_known = self.covers(plan.bindings_mapping(binding_values))
+        if update_last_match:
+            max_timestamp = self.max_timestamp
+            if max_timestamp is not None:
+                probe.last_match_ts[self.name] = max(floor, max_timestamp)
+        return outcome
+
+    def probe_batch(
+        self,
+        probes: Sequence[QTuple],
+        plan: ProbePlan,
+        enforce_timestamp: bool = True,
+        update_last_match: bool = False,
+    ) -> list[ProbeOutcome]:
+        """Probe a whole delivered batch through one compiled plan.
+
+        All probes must share the plan's probe situation (same spanned
+        aliases and pending predicates — the batched eddy's signature groups
+        guarantee exactly that); the plan and its index resolution are
+        acquired once for the batch instead of being re-derived per tuple.
+        Outcomes are positionally aligned with ``probes``.
+        """
+        probe = self.probe_with_plan
+        return [
+            probe(item, plan, enforce_timestamp, update_last_match)
+            for item in probes
+        ]
+
+    def _plan_candidates(self, plan: ProbePlan, binding_values) -> Iterable[Row]:
+        """Candidate rows for a compiled probe (most selective index wins).
+
+        Uses the indexes' read-only lookups: the returned bucket aliases
+        index internals and is only iterated, never kept or mutated.
+        """
+        if binding_values is not None:
+            if plan.indexes_stale(self):
+                plan.resolve_indexes(self)
+            best = None
+            for position, index in plan.indexed_bindings:
+                bucket = index.lookup_readonly((binding_values[position],))
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                return best
+        return self._rows
 
     def _probe_bindings(
         self,
@@ -297,13 +468,26 @@ class SteM:
         return bindings or None
 
     def _candidate_rows(self, bindings: Mapping[str, Any] | None) -> Iterable[Row]:
-        """Rows worth examining for a probe with the given bindings."""
+        """Rows worth examining for a probe with the given bindings.
+
+        When several bindings are indexed, the smallest posting list (the
+        most selective index for *this* probe's values) wins — every index
+        is exact on its column, so any one bucket is a superset of the
+        matches and the cheapest superset minimises candidates examined.
+        Buckets come from the read-only lookup path and are only iterated.
+        """
         if bindings:
+            best = None
             for column, value in bindings.items():
                 index = self._indexes.get(column)
-                if index is not None:
-                    return index.lookup((value,))
-        return list(self._rows)
+                if index is None:
+                    continue
+                bucket = index.lookup_readonly((value,))
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                return best
+        return self._rows
 
     # -- EOT coverage -------------------------------------------------------------
 
@@ -340,9 +524,15 @@ class SteM:
         """Remove a row (sliding-window / memory-pressure hook)."""
         if row not in self._rows:
             return False
-        del self._rows[row]
+        timestamp = self._rows.pop(row)
         for index in self._indexes.values():
             index.remove(row)
+        if not self._rows:
+            self._min_timestamp = self._max_timestamp = None
+            self._timestamps_stale = False
+        elif timestamp == self._min_timestamp or timestamp == self._max_timestamp:
+            # An extreme left: recompute lazily on the next property read.
+            self._timestamps_stale = True
         self.stats["evictions"] += 1
         # Coverage may no longer hold once data has been dropped.
         self._scan_complete.clear()
@@ -371,15 +561,35 @@ class SteM:
         return self._rows.get(row)
 
     @property
+    def row_schema(self) -> Schema | None:
+        """Schema of the stored rows (None until the first build)."""
+        return self._row_schema
+
+    def _refresh_timestamps(self) -> None:
+        values = self._rows.values()
+        self._min_timestamp = min(values)
+        self._max_timestamp = max(values)
+        self._timestamps_stale = False
+
+    @property
     def min_timestamp(self) -> float | None:
         """Smallest build timestamp stored (enables the Grace-join shortcut
-        of section 3.1: probes older than this cannot produce results)."""
-        return min(self._rows.values()) if self._rows else None
+        of section 3.1: probes older than this cannot produce results).
+
+        Maintained incrementally on build — O(1) per call; an eviction that
+        removed an extreme triggers one O(n) recompute on the next read.
+        """
+        if self._timestamps_stale:
+            self._refresh_timestamps()
+        return self._min_timestamp
 
     @property
     def max_timestamp(self) -> float | None:
-        """Largest build timestamp stored."""
-        return max(self._rows.values()) if self._rows else None
+        """Largest build timestamp stored (incremental, like
+        :attr:`min_timestamp`)."""
+        if self._timestamps_stale:
+            self._refresh_timestamps()
+        return self._max_timestamp
 
     def __repr__(self) -> str:
         return (

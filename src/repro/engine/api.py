@@ -30,6 +30,7 @@ def execute(
     until: float | None = None,
     strict_constraints: bool = False,
     batch_size: int = 1,
+    compiled_probes: bool | None = None,
     trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Execute a select-project-join query and return its results and metrics.
@@ -50,6 +51,11 @@ def execute(
         batch_size: ready tuples the eddy drains per routing event (adaptive
             engines; 1 = the paper's per-tuple routing, >1 enables
             signature-batched routing with the destination cache).
+        compiled_probes: route SteM probes through compiled
+            :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
+            the interpreted predicate walk (``stems`` engine only; both
+            paths produce byte-identical results and traces).  None
+            resolves from the ``REPRO_INTERPRETED_PROBES`` env var.
         trace: optional :class:`~repro.sim.tracing.TraceLog` recording the
             adaptive engines' route/output/retire events.  Identical calls
             produce identical traces, tuple ids included.  The ``static``
@@ -68,6 +74,7 @@ def execute(
             until=until,
             strict_constraints=strict_constraints,
             batch_size=batch_size,
+            compiled_probes=compiled_probes,
             trace=trace,
         )
     if engine == "eddy-joins":

@@ -128,6 +128,11 @@ class MultiQueryEngine:
         stem_max_size: optional SteM row bound (CACQ/PSoUP sliding-window
             eviction; applies to shared and private SteMs alike).
         batch_size: per-eddy routing batch (see :class:`~repro.core.eddy.Eddy`).
+        compiled_probes: route SteM probes through compiled
+            :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
+            the interpreted predicate walk.  Each query's modules keep
+            their own plan cache over their own layout, so shared SteMs
+            never mix plans across queries.
     """
 
     def __init__(
@@ -140,6 +145,7 @@ class MultiQueryEngine:
         stem_index_kind: str = "hash",
         stem_max_size: int | None = None,
         batch_size: int = 1,
+        compiled_probes: bool | None = None,
     ):
         self.catalog = catalog
         self.costs = cost_model or CostModel()
@@ -148,6 +154,7 @@ class MultiQueryEngine:
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
         self.batch_size = batch_size
+        self.compiled_probes = compiled_probes
         self.simulator = Simulator()
         self.registry: SteMRegistry | None = (
             SteMRegistry(index_kind=stem_index_kind, max_size=stem_max_size)
@@ -225,6 +232,7 @@ class MultiQueryEngine:
                 registry=self.registry,
                 build_cost=self.costs.stem_build_cost,
                 probe_cost=self.costs.stem_probe_cost,
+                compiled_probes=self.compiled_probes,
             )
         return make_private_stem_module(
             ref,
@@ -232,6 +240,7 @@ class MultiQueryEngine:
             self.costs,
             index_kind=self.stem_index_kind,
             max_size=self.stem_max_size,
+            compiled_probes=self.compiled_probes,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -319,6 +328,7 @@ def run_multi(
     batch_size: int = 1,
     stem_index_kind: str = "hash",
     stem_max_size: int | None = None,
+    compiled_probes: bool | None = None,
 ) -> MultiQueryResult:
     """Convenience wrapper: build a :class:`MultiQueryEngine` and run it."""
     engine = MultiQueryEngine(
@@ -330,5 +340,6 @@ def run_multi(
         batch_size=batch_size,
         stem_index_kind=stem_index_kind,
         stem_max_size=stem_max_size,
+        compiled_probes=compiled_probes,
     )
     return engine.run(until=until)

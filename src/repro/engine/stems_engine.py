@@ -119,6 +119,7 @@ def make_private_stem_module(
     costs: CostModel,
     index_kind: str = "hash",
     max_size: int | None = None,
+    compiled_probes: bool | None = None,
 ) -> SteMModule:
     """A private SteM (and its module) for one FROM-clause entry.
 
@@ -141,6 +142,7 @@ def make_private_stem_module(
         query.predicates,
         build_cost=costs.stem_build_cost,
         probe_cost=costs.stem_probe_cost,
+        compiled_probes=compiled_probes,
     )
 
 
@@ -190,6 +192,11 @@ class StemsEngine:
         stem_max_size: optional SteM size bound (sliding-window eviction).
         batch_size: ready tuples drained per eddy routing event (1 =
             per-tuple routing; >1 enables signature-batched routing).
+        compiled_probes: route SteM probes through compiled
+            :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
+            the interpreted predicate walk; None resolves from the
+            ``REPRO_INTERPRETED_PROBES`` environment escape hatch.  Both
+            paths produce byte-identical results and traces.
         trace: optional :class:`TraceLog` recording route/output/retire
             events (identical across identical runs; see
             ``tests/engine/test_determinism.py``).
@@ -206,6 +213,7 @@ class StemsEngine:
         stem_max_size: int | None = None,
         preferences: Sequence = (),
         batch_size: int = 1,
+        compiled_probes: bool | None = None,
         trace: TraceLog | None = None,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
@@ -215,6 +223,7 @@ class StemsEngine:
         self.strict_constraints = strict_constraints
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
+        self.compiled_probes = compiled_probes
 
         self.simulator = Simulator()
         self.eddy = Eddy(
@@ -244,6 +253,7 @@ class StemsEngine:
             self.costs,
             index_kind=self.stem_index_kind,
             max_size=self.stem_max_size,
+            compiled_probes=self.compiled_probes,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -274,6 +284,7 @@ def run_stems(
     strict_constraints: bool = False,
     preferences: Sequence = (),
     batch_size: int = 1,
+    compiled_probes: bool | None = None,
     trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`StemsEngine` and run it."""
@@ -285,6 +296,7 @@ def run_stems(
         strict_constraints=strict_constraints,
         preferences=preferences,
         batch_size=batch_size,
+        compiled_probes=compiled_probes,
         trace=trace,
     )
     return engine.run(until=until)

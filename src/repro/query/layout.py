@@ -168,6 +168,14 @@ class PlanLayout(AliasSpace):
         #: alias names.  Bounded by 2^|aliases| entries, but in practice only
         #: the spans the dataflow actually produces are ever materialised.
         self._adjacent_unspanned_memo: dict[int, tuple[str, ...]] = {}
+        #: Compiled-probe-plan cache: ``(module name, spanned_mask,
+        #: done_mask)`` -> :class:`~repro.query.probeplan.ProbePlan`.  Lives
+        #: on the layout because the masks only mean anything over *this*
+        #: query's alias/predicate bit assignment — so when several queries
+        #: share one SteM, each keeps one plan cache per query layout and
+        #: never reads another query's plans.  Populated lazily by
+        #: :meth:`~repro.core.modules.stem_module.SteMModule.probe_plan_for`.
+        self.probe_plans: dict[tuple, object] = {}
 
     def _missing(self, alias: str) -> int:
         raise QueryError(

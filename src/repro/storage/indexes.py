@@ -37,6 +37,12 @@ class RowIndex(ABC):
 
     def __init__(self, key_columns: Sequence[str]):
         self.key_columns = tuple(key_columns)
+        #: Positional fast path for :meth:`key_of`: the key columns resolved
+        #: to positions in the last schema seen.  One entry suffices — in
+        #: practice every row indexed by one index carries its base table's
+        #: schema, so the memo never thrashes.
+        self._key_schema = None
+        self._key_positions: tuple[int, ...] = ()
 
     @abstractmethod
     def insert(self, row: Row) -> None:
@@ -50,6 +56,18 @@ class RowIndex(ABC):
     def lookup(self, key: tuple[Any, ...]) -> list[Row]:
         """All rows whose key columns equal ``key``."""
 
+    def lookup_readonly(self, key: tuple[Any, ...]) -> Sequence[Row]:
+        """All rows whose key columns equal ``key``, **without copying**.
+
+        Aliasing contract: the returned sequence may be (and for
+        :class:`HashIndex` is) the index's internal bucket.  Callers must
+        only iterate it — never mutate it, and never hold it across an
+        ``insert``/``remove`` — which is exactly the discipline of the SteM
+        probe loop this path exists for.  The default implementation falls
+        back to the copying :meth:`lookup`.
+        """
+        return self.lookup(key)
+
     @abstractmethod
     def __iter__(self) -> Iterator[Row]:
         """Iterate over all rows in the index."""
@@ -59,8 +77,14 @@ class RowIndex(ABC):
         """Number of rows in the index."""
 
     def key_of(self, row: Row) -> tuple[Any, ...]:
-        """The index key of a row."""
-        return row.key_values(self.key_columns)
+        """The index key of a row (positional once the schema is known)."""
+        schema = row.schema
+        if schema is not self._key_schema:
+            self._key_positions = tuple(
+                schema.position(column) for column in self.key_columns
+            )
+            self._key_schema = schema
+        return row.values_at(self._key_positions)
 
     def lookup_row(self, probe: Row) -> list[Row]:
         """All rows matching the key values carried by ``probe``.
@@ -74,6 +98,10 @@ class RowIndex(ABC):
     def contains(self, row: Row) -> bool:
         """True if an equal row is already present."""
         return any(existing == row for existing in self.lookup(self.key_of(row)))
+
+
+#: Shared empty bucket returned by no-copy lookups that miss.
+_EMPTY_BUCKET: tuple[Row, ...] = ()
 
 
 class HashIndex(RowIndex):
@@ -104,6 +132,11 @@ class HashIndex(RowIndex):
 
     def lookup(self, key: tuple[Any, ...]) -> list[Row]:
         return list(self._buckets.get(tuple(key), ()))
+
+    def lookup_readonly(self, key: tuple[Any, ...]) -> Sequence[Row]:
+        # No-copy path: hands out the internal bucket itself (see the
+        # aliasing contract on :meth:`RowIndex.lookup_readonly`).
+        return self._buckets.get(tuple(key), _EMPTY_BUCKET)
 
     def keys(self) -> Iterator[tuple[Any, ...]]:
         """Iterate over the distinct keys currently present."""
@@ -279,6 +312,9 @@ class AdaptiveIndex(RowIndex):
 
     def lookup(self, key: tuple[Any, ...]) -> list[Row]:
         return self._impl.lookup(key)
+
+    def lookup_readonly(self, key: tuple[Any, ...]) -> Sequence[Row]:
+        return self._impl.lookup_readonly(key)
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._impl)

@@ -77,6 +77,16 @@ class Row:
         """The values of the given columns, as a tuple (for index keys)."""
         return tuple(self[c] for c in columns)
 
+    def values_at(self, positions: Sequence[int]) -> tuple[Any, ...]:
+        """The values at the given schema positions, as a tuple.
+
+        The positional fast path of :meth:`key_values`: callers that have
+        resolved column names to positions once (indexes, compiled probe
+        plans) skip the per-access name lookup entirely.
+        """
+        values = self.values
+        return tuple(values[p] for p in positions)
+
     # -- identity -------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,443 @@
+"""Equivalence suite: compiled ProbePlans vs the interpreted probe path.
+
+The compiled probe path must be a pure optimisation: for every probe
+situation, :meth:`SteM.probe_with_plan` has to produce the same results in
+the same order, the same coverage verdict, and the same
+suppressed/examined accounting as the interpreted :meth:`SteM.probe` —
+including NULL (None) semantics, self-joins, and the TimeStamp /
+LastMatchTimeStamp constraints.  The property tests here generate random
+data, timestamps and predicate subsets and assert exactly that; the engine
+tests assert byte-identical results *and traces* across routing policies
+and batch sizes with the flag flipped both ways.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.modules.stem_module import SteMModule
+from repro.core.stem import SteM
+from repro.core.tuples import QTuple, singleton_tuple
+from repro.engine.api import execute
+from repro.engine.multi import QueryAdmission, run_multi
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    InList,
+    TruePredicate,
+    equi_join,
+    selection,
+)
+from repro.query.probeplan import ProbePlan, compiled_probes_enabled
+from repro.sim.tracing import TraceLog
+from repro.storage.catalog import Catalog
+from repro.storage.datagen import make_source_r, make_source_t
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+R_SCHEMA = Schema.of("key:int", "a:int", "b:int")
+S_SCHEMA = Schema.of("x:int", "y:int")
+
+
+def r_row(key, a, b=0):
+    return Row("R", R_SCHEMA, (key, a, b))
+
+
+def s_row(x, y):
+    return Row("S", S_SCHEMA, (x, y))
+
+
+def make_stem(join_columns=("x",)) -> SteM:
+    return SteM("S", aliases=("S",), join_columns=join_columns)
+
+
+def outcome_facts(outcome):
+    return (
+        [(t.identity(), t.done_mask, dict(t.timestamps)) for t in outcome.results],
+        outcome.all_matches_known,
+        outcome.candidates_examined,
+        outcome.suppressed_by_timestamp,
+    )
+
+
+def both_paths(rows_with_ts, probe_maker, predicates, target="S",
+               enforce_timestamp=True, update_last_match=False, eots=()):
+    """Run interpreted and compiled probes on identically-built SteMs."""
+    outcomes = []
+    probes = []
+    for compiled in (False, True):
+        stem = make_stem()
+        for row, ts in rows_with_ts:
+            stem.build(row, ts)
+        for eot in eots:
+            stem.build_eot(eot)
+        probe = probe_maker()
+        probes.append(probe)
+        if compiled:
+            plan = ProbePlan.compile(
+                predicates, target, probe.components, target_schema=stem.row_schema
+            )
+            outcomes.append(
+                stem.probe_with_plan(
+                    probe, plan,
+                    enforce_timestamp=enforce_timestamp,
+                    update_last_match=update_last_match,
+                )
+            )
+        else:
+            outcomes.append(
+                stem.probe(
+                    probe, target, predicates,
+                    enforce_timestamp=enforce_timestamp,
+                    update_last_match=update_last_match,
+                )
+            )
+    return outcomes, probes
+
+
+# -- value / predicate generators ------------------------------------------------
+
+values = st.one_of(st.integers(min_value=-3, max_value=5), st.none())
+timestamps = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+def predicate_pool():
+    return [
+        equi_join("R.a", "S.x"),
+        equi_join("R.b", "S.y"),
+        Comparison("R.b", "<", "S.y"),
+        Comparison("S.y", ">=", "R.a"),
+        selection("S.y", "<", 4),
+        selection("S.x", "!=", 2),
+        Comparison("S.x", "=", 1),          # constant equality binding
+        InList("S.y", [0, 1, 2, None]),
+        TruePredicate(),
+        Conjunction([selection("S.y", ">", -3), selection("S.x", "<=", 5)]),
+    ]
+
+
+class TestPropertyEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_random_probe_situations_are_path_identical(self, data):
+        stored = data.draw(
+            st.lists(st.tuples(values, values), min_size=0, max_size=12),
+            label="stored rows",
+        )
+        rows_with_ts = [
+            (s_row(x, y), float(position + 1))
+            for position, (x, y) in enumerate(stored)
+        ]
+        pool = predicate_pool()
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from(range(len(pool))), min_size=0, max_size=5, unique=True
+            ),
+            label="predicates",
+        )
+        predicates = [pool[index] for index in sorted(chosen)]
+        key = data.draw(values, label="probe key")
+        a = data.draw(values, label="probe a")
+        b = data.draw(values, label="probe b")
+        probe_ts = data.draw(timestamps, label="probe timestamp")
+        enforce = data.draw(st.booleans(), label="enforce timestamp")
+
+        def probe_maker():
+            probe = singleton_tuple("R", r_row(key, a, b))
+            probe.mark_built("R", probe_ts)
+            return probe
+
+        interpreted, compiled = both_paths(
+            rows_with_ts, probe_maker, predicates, enforce_timestamp=enforce
+        )[0]
+        assert outcome_facts(compiled) == outcome_facts(interpreted)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unbuilt_probes_and_composite_probes(self, data):
+        """Un-built probes carry an infinite timestamp and receive all
+        matches; composite probes bind through any spanned alias."""
+        stored = data.draw(st.lists(st.tuples(values, values), max_size=8))
+        rows_with_ts = [
+            (s_row(x, y), float(position + 1))
+            for position, (x, y) in enumerate(stored)
+        ]
+        predicates = [equi_join("R.a", "S.x"), Comparison("T.c", "<=", "S.y")]
+        t_schema = Schema.of("c:int")
+        t_value = data.draw(values)
+        a = data.draw(values)
+
+        def probe_maker():
+            probe = QTuple(
+                {"R": r_row(0, a), "T": Row("T", t_schema, (t_value,))},
+                timestamps={"R": 2.0, "T": 3.0},
+            )
+            return probe
+
+        interpreted, compiled = both_paths(rows_with_ts, probe_maker, predicates)[0]
+        assert outcome_facts(compiled) == outcome_facts(interpreted)
+
+
+class TestConstraintEquivalence:
+    def test_timestamp_constraint_and_suppression_counts(self):
+        rows = [(s_row(1, 1), 5.0), (s_row(1, 2), 15.0)]
+        predicates = [equi_join("R.a", "S.x")]
+
+        def probe_maker():
+            probe = singleton_tuple("R", r_row(0, 1))
+            probe.mark_built("R", 10.0)
+            return probe
+
+        for enforce in (True, False):
+            (interpreted, compiled), _ = both_paths(
+                rows, probe_maker, predicates, enforce_timestamp=enforce
+            )
+            assert outcome_facts(compiled) == outcome_facts(interpreted)
+            if enforce:
+                assert interpreted.suppressed_by_timestamp == 1
+
+    def test_last_match_timestamp_updates_identically(self):
+        rows = [(s_row(1, 1), 5.0), (s_row(1, 2), 15.0)]
+        predicates = [equi_join("R.a", "S.x")]
+
+        def probe_maker():
+            probe = singleton_tuple("R", r_row(0, 1))
+            probe.mark_built("R", 30.0)
+            return probe
+
+        (interpreted, compiled), (probe_i, probe_c) = both_paths(
+            rows, probe_maker, predicates, update_last_match=True
+        )
+        assert outcome_facts(compiled) == outcome_facts(interpreted)
+        assert probe_c.last_match_ts == probe_i.last_match_ts == {"stem:S": 15.0}
+
+    def test_eot_coverage_is_path_identical(self):
+        from repro.core.tuples import EOTTuple
+
+        rows = [(s_row(1, 1), 1.0)]
+        predicates = [equi_join("R.a", "S.x")]
+        eot = EOTTuple(
+            table="S", alias="S", am_name="am:idx:S",
+            bound_columns=("x",), bound_values=(1,),
+        )
+
+        def probe_maker():
+            probe = singleton_tuple("R", r_row(0, 1))
+            probe.mark_built("R", 9.0)
+            return probe
+
+        (interpreted, compiled), _ = both_paths(
+            rows, probe_maker, predicates, eots=(eot,)
+        )
+        assert interpreted.all_matches_known and compiled.all_matches_known
+        assert outcome_facts(compiled) == outcome_facts(interpreted)
+
+
+class TestSelfJoin:
+    def test_self_join_probe_is_path_identical(self):
+        predicates = [equi_join("r1.a", "r2.a"), Comparison("r1.key", "<", "r2.key")]
+        rows = [(Row("R", R_SCHEMA, (k, k % 3, 0)), float(k + 1)) for k in range(8)]
+        for compiled in (False, True):
+            stem = SteM("R", aliases=("r1", "r2"), join_columns=("a",))
+            for row, ts in rows:
+                stem.build(row, ts)
+            probe = QTuple({"r1": Row("R", R_SCHEMA, (2, 2, 0))})
+            probe.mark_built("r1", 20.0)
+            if compiled:
+                plan = ProbePlan.compile(
+                    predicates, "r2", probe.components, target_schema=stem.row_schema
+                )
+                second = stem.probe_with_plan(probe, plan)
+            else:
+                first = stem.probe(probe, "r2", predicates)
+        assert outcome_facts(second) == outcome_facts(first)
+        assert len(first.results) > 0
+
+
+class TestPlanMechanics:
+    def test_empty_stem_compiles_then_finishes_lazily(self):
+        stem = make_stem()
+        predicates = [equi_join("R.a", "S.x")]
+        probe = singleton_tuple("R", r_row(0, 1))
+        probe.mark_built("R", 9.0)
+        plan = ProbePlan.compile(
+            predicates, "S", probe.components,
+            target_schema=stem.row_schema,  # None: stem never built
+        )
+        assert plan.cmp_checks is None
+        outcome = stem.probe_with_plan(probe, plan)
+        assert outcome.results == [] and outcome.candidates_examined == 0
+        stem.build(s_row(1, 1), 1.0)
+        outcome = stem.probe_with_plan(probe, plan)
+        assert plan.cmp_checks is not None
+        reference = singleton_tuple("R", r_row(0, 1))
+        reference.mark_built("R", 9.0)
+        expected = stem.probe(reference, "S", predicates)
+        assert [t.identity() for t in outcome.results] == [
+            t.identity() for t in expected.results
+        ]
+
+    def test_module_plan_cache_is_per_probe_situation(self):
+        stem = make_stem()
+        module = SteMModule(stem, [equi_join("R.a", "S.x")], compiled_probes=True)
+        probe = singleton_tuple("R", r_row(0, 1))
+        probe.mark_built("R", 1.0)
+        plan = module.probe_plan_for(probe)
+        assert module.probe_plan_for(probe) is plan
+        other = singleton_tuple("R", r_row(1, 2))
+        other.mark_built("R", 2.0)
+        assert module.probe_plan_for(other) is plan  # same situation, same plan
+        done = singleton_tuple("R", r_row(1, 2))
+        done.mark_built("R", 3.0)
+        done.mark_done([equi_join("R.a", "S.x")])  # different done mask
+        assert module.probe_plan_for(done) is not plan
+
+    def test_ensure_join_columns_bumps_epoch_and_reresolves_indexes(self):
+        stem = SteM("S", aliases=("S",), join_columns=())
+        for x in range(6):
+            stem.build(s_row(x % 2, x), float(x + 1))
+        probe = singleton_tuple("R", r_row(0, 1))
+        probe.mark_built("R", 50.0)
+        predicates = [equi_join("R.a", "S.x")]
+        plan = ProbePlan.compile(predicates, "S", probe.components,
+                                 target_schema=stem.row_schema)
+        # No index on x yet: the probe scans all six rows.
+        assert stem.probe_with_plan(probe, plan).candidates_examined == 6
+        epoch = stem.index_epoch
+        stem.ensure_join_columns(["x"])
+        assert stem.index_epoch == epoch + 1
+        # The plan re-resolves against the new index: only the x=1 bucket.
+        fresh = singleton_tuple("R", r_row(0, 1))
+        fresh.mark_built("R", 50.0)
+        assert stem.probe_with_plan(fresh, plan).candidates_examined == 3
+
+    def test_most_selective_index_wins(self):
+        stem = SteM("S", aliases=("S",), join_columns=("x", "y"))
+        # x=1 bucket has 5 rows; (y=7) bucket has 1 row.
+        for position in range(5):
+            stem.build(s_row(1, position), float(position + 1))
+        stem.build(s_row(2, 7), 6.0)
+        probe = singleton_tuple("R", r_row(0, 1, 7))
+        probe.mark_built("R", 50.0)
+        predicates = [equi_join("R.a", "S.x"), equi_join("R.b", "S.y")]
+        plan = ProbePlan.compile(predicates, "S", probe.components,
+                                 target_schema=stem.row_schema)
+        outcome = stem.probe_with_plan(probe, plan)
+        assert outcome.candidates_examined == 1  # the y bucket, not the x bucket
+        # The interpreted path picks the same bucket.
+        fresh = singleton_tuple("R", r_row(0, 1, 7))
+        fresh.mark_built("R", 50.0)
+        assert stem.probe(fresh, "S", predicates).candidates_examined == 1
+
+    def test_probe_batch_matches_single_probes(self):
+        stem = make_stem()
+        for x in range(4):
+            stem.build(s_row(x % 2, x), float(x + 1))
+        predicates = [equi_join("R.a", "S.x")]
+
+        def make_probes():
+            probes = []
+            for key in range(3):
+                probe = singleton_tuple("R", r_row(key, key % 2))
+                probe.mark_built("R", 40.0 + key)
+                probes.append(probe)
+            return probes
+
+        probes = make_probes()
+        plan = ProbePlan.compile(predicates, "S", probes[0].components,
+                                 target_schema=stem.row_schema)
+        batched = stem.probe_batch(probes, plan)
+        singles = [
+            stem.probe(probe, "S", predicates) for probe in make_probes()
+        ]
+        assert [outcome_facts(o) for o in batched] == [
+            outcome_facts(o) for o in singles
+        ]
+
+    def test_build_batch_matches_single_builds(self):
+        first, second = make_stem(), make_stem()
+        rows = [s_row(x % 2, x) for x in range(5)] + [s_row(0, 0)]
+        stamps = [float(i + 1) for i in range(len(rows))]
+        batch_outcomes = first.build_batch(rows, stamps)
+        single_outcomes = [second.build(row, ts) for row, ts in zip(rows, stamps)]
+        assert batch_outcomes == single_outcomes
+        assert list(first) == list(second)
+        assert first.min_timestamp == second.min_timestamp
+        assert first.max_timestamp == second.max_timestamp
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INTERPRETED_PROBES", raising=False)
+        assert compiled_probes_enabled()
+        assert SteMModule(make_stem(), []).compiled_probes
+        monkeypatch.setenv("REPRO_INTERPRETED_PROBES", "1")
+        assert not compiled_probes_enabled()
+        assert not SteMModule(make_stem(), []).compiled_probes
+        # An explicit flag beats the environment.
+        assert SteMModule(make_stem(), [], compiled_probes=True).compiled_probes
+
+
+# -- engine-level byte identity --------------------------------------------------
+
+SQL = "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 6"
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_source_r(40, 10, seed=7))
+    catalog.add_table(make_source_t(40, seed=8))
+    catalog.add_scan("R", rate=100.0)
+    catalog.add_scan("T", rate=80.0)
+    catalog.add_index("T", ["key"], latency=0.05)
+    return catalog
+
+
+def records(trace: TraceLog) -> list[tuple]:
+    return [(record.time, record.kind, record.detail) for record in trace]
+
+
+class TestEngineByteIdentity:
+    @pytest.mark.parametrize("policy", ["naive", "benefit", "lottery"])
+    @pytest.mark.parametrize("batch_size", [1, 8, 64], ids=lambda b: f"batch={b}")
+    def test_stems_engine_identical_results_and_traces(self, policy, batch_size):
+        compiled_trace, interpreted_trace = TraceLog(), TraceLog()
+        compiled = execute(
+            SQL, build_catalog(), engine="stems", policy=policy,
+            batch_size=batch_size, compiled_probes=True, trace=compiled_trace,
+        )
+        interpreted = execute(
+            SQL, build_catalog(), engine="stems", policy=policy,
+            batch_size=batch_size, compiled_probes=False, trace=interpreted_trace,
+        )
+        assert len(compiled.tuples) > 0
+        assert [t.identity() for t in compiled.tuples] == [
+            t.identity() for t in interpreted.tuples
+        ]
+        assert records(compiled_trace) == records(interpreted_trace)
+
+    def test_multi_query_shared_stems_identical(self):
+        def admissions():
+            return [
+                QueryAdmission(SQL, query_id="a", policy="naive", trace=TraceLog()),
+                QueryAdmission(
+                    "SELECT * FROM R, T WHERE R.key = T.key",
+                    query_id="b", policy="lottery",
+                    arrival_time=0.2, trace=TraceLog(),
+                ),
+            ]
+
+        compiled_admissions, interpreted_admissions = admissions(), admissions()
+        compiled = run_multi(
+            compiled_admissions, build_catalog(), shared_stems=True,
+            batch_size=8, compiled_probes=True,
+        )
+        interpreted = run_multi(
+            interpreted_admissions, build_catalog(), shared_stems=True,
+            batch_size=8, compiled_probes=False,
+        )
+        for query_id in ("a", "b"):
+            assert [t.identity() for t in compiled[query_id].tuples] == [
+                t.identity() for t in interpreted[query_id].tuples
+            ]
+        for one, other in zip(compiled_admissions, interpreted_admissions):
+            assert records(one.trace) == records(other.trace)

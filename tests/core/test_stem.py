@@ -210,6 +210,52 @@ class TestEviction:
         assert stem.stats["evictions"] == 2
 
 
+class TestTimestampMaintenance:
+    def test_incremental_min_max_across_builds(self):
+        stem = make_stem()
+        # Out-of-order timestamps (unit-test territory; engines build in
+        # monotone order) still keep the cached extremes correct.
+        stem.build(s_row(1), 5.0)
+        stem.build(s_row(2), 3.0)
+        stem.build(s_row(3), 9.0)
+        assert stem.min_timestamp == 3.0
+        assert stem.max_timestamp == 9.0
+
+    def test_eviction_of_extreme_triggers_recompute(self):
+        stem = make_stem()
+        stem.build(s_row(1), 1.0)
+        stem.build(s_row(2), 2.0)
+        stem.build(s_row(3), 3.0)
+        assert stem.evict(s_row(1))  # the minimum leaves
+        assert stem.min_timestamp == 2.0
+        assert stem.max_timestamp == 3.0
+        assert stem.evict(s_row(3))  # the maximum leaves
+        assert stem.min_timestamp == stem.max_timestamp == 2.0
+
+    def test_eviction_to_empty_resets_extremes(self):
+        stem = make_stem()
+        stem.build(s_row(1), 4.0)
+        assert stem.evict(s_row(1))
+        assert stem.min_timestamp is None
+        assert stem.max_timestamp is None
+
+    def test_bounded_fifo_eviction_advances_minimum(self):
+        stem = SteM("S", aliases=("S",), join_columns=("x",), max_size=2)
+        for value in range(4):
+            stem.build(s_row(value), float(value + 1))
+        assert stem.min_timestamp == 3.0
+        assert stem.max_timestamp == 4.0
+
+    def test_update_last_match_sees_post_eviction_maximum(self):
+        stem = make_stem()
+        stem.build(s_row(1, 1), 5.0)
+        stem.build(s_row(1, 2), 15.0)
+        assert stem.evict(s_row(1, 2))  # the max-timestamp row leaves
+        probe = r_probe(0, 1, timestamp=30.0)
+        stem.probe(probe, "S", [JOIN], update_last_match=True)
+        assert probe.last_match_ts["stem:S"] == 5.0
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     build_keys=st.lists(st.integers(0, 9), max_size=30),
