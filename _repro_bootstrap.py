@@ -1,0 +1,28 @@
+"""Single source of truth for the src-layout import bootstrap.
+
+The package lives under ``src/`` and may not be installed (offline
+environments cannot build editable wheels), so every pytest entry point —
+the root ``conftest.py``, ``tests/conftest.py`` and ``benchmarks/conftest.py``
+— needs ``src`` on ``sys.path``.  They all call :func:`ensure_src_on_path`
+from here, so the path logic cannot drift between them.
+
+This module sits next to the root ``conftest.py``; pytest puts that
+directory on ``sys.path`` when it loads the root conftest (which always
+happens before any nested conftest), so nested conftests can import it by
+name.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: Repository root (the directory holding this file).
+REPO_ROOT = Path(__file__).resolve().parent
+
+
+def ensure_src_on_path() -> None:
+    """Make the ``src`` layout importable, idempotently."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)

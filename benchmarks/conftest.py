@@ -8,12 +8,9 @@ numbers in ``benchmark.extra_info`` so they appear in the benchmark report.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
+from _repro_bootstrap import ensure_src_on_path
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+ensure_src_on_path()
 
 
 def sample_times(end: float, points: int = 8) -> list[float]:

@@ -2,12 +2,11 @@
 
 Ensures the ``src`` layout is importable even when the package has not been
 installed (e.g. in offline environments where editable installs are not
-possible because the ``wheel`` package is unavailable).
+possible because the ``wheel`` package is unavailable).  The path logic
+itself lives in ``_repro_bootstrap`` so the nested conftests share one
+implementation instead of drifting copies.
 """
 
-import sys
-from pathlib import Path
+from _repro_bootstrap import ensure_src_on_path
 
-_SRC = Path(__file__).resolve().parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+ensure_src_on_path()

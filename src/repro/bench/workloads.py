@@ -18,9 +18,10 @@ chosen to land in the paper's regime:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-from repro.engine.multi import QueryAdmission
+from repro.engine.multi import ChurnEvent, QueryAdmission
 from repro.query.parser import parse_query
 from repro.query.predicates import selection
 from repro.query.query import Query
@@ -368,4 +369,119 @@ def shared_tables_mixed_workload(
         catalog=catalog,
         admissions=admissions,
         parameters={"rows": rows, "stagger": stagger, "policy": policy},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Continuous-query churn (dynamic admission/retirement over shared SteMs).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """A continuous-query churn workload: Poisson arrivals and lifetimes.
+
+    Attributes:
+        name: workload name.
+        catalog: the shared catalog every admitted query reads from.
+        events: the admission/retirement timeline
+            (:class:`~repro.engine.multi.ChurnEvent`), time-ordered.
+        parameters: descriptive parameters for reports.
+    """
+
+    name: str
+    catalog: Catalog
+    events: tuple[ChurnEvent, ...]
+    parameters: dict
+
+    @property
+    def admissions(self) -> tuple[QueryAdmission, ...]:
+        """The admissions of the timeline, in arrival order.
+
+        Useful for building the static-fleet baseline (same queries, same
+        arrival times, no retirement) and isolated-run references.
+        """
+        return tuple(
+            event.admission for event in self.events if event.action == "admit"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChurnWorkload({self.name}, {len(self.admissions)} admissions, "
+            f"{self.parameters})"
+        )
+
+
+def churn_workload(
+    duration: float = 40.0,
+    arrival_rate: float = 0.25,
+    mean_lifetime: float = 15.0,
+    min_lifetime: float = 0.0,
+    rows: int = 200,
+    r_scan_rate: float = 40.0,
+    t_scan_rate: float = 25.0,
+    t_index_latency: float = 0.2,
+    policy: str = "naive",
+    seed: int = 0,
+) -> ChurnWorkload:
+    """A Poisson admission/retirement timeline over one R⨝T catalog.
+
+    Queries arrive as a Poisson process of rate ``arrival_rate`` over
+    ``duration`` virtual seconds and live for ``min_lifetime`` plus an
+    exponential of mean ``mean_lifetime``; each applies its own selectivity
+    cutoff on ``R.a`` (cycled over a small pool, with every fourth query
+    unfiltered) so per-query result sets differ while every query's builds
+    populate the same pair of shared SteMs.  The timeline is deterministic
+    in ``seed`` — and, importantly, the *queries and arrival times* depend
+    only on the arrival draws, so rebuilding the workload with a larger
+    ``min_lifetime`` (e.g. one derived from isolated completion times)
+    keeps the same fleet.
+    """
+    catalog = Catalog()
+    distinct_a = max(rows // 4, 1)
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    catalog.add_scan("R", rate=r_scan_rate)
+    catalog.add_scan("T", rate=t_scan_rate)
+    catalog.add_index("T", ["key"], latency=t_index_latency)
+    rng = random.Random(seed)
+    events: list[ChurnEvent] = []
+    time = 0.0
+    position = 0
+    while True:
+        time += rng.expovariate(arrival_rate)
+        if time >= duration:
+            break
+        lifetime = min_lifetime + rng.expovariate(1.0 / mean_lifetime)
+        if position % 4 == 3:
+            sql = "SELECT * FROM R, T WHERE R.key = T.key"
+        else:
+            cutoff = max(1, (distinct_a * ((position % 4) + 1)) // 4)
+            sql = f"SELECT * FROM R, T WHERE R.key = T.key AND R.a < {cutoff}"
+        query_id = f"churn{position}"
+        admission = QueryAdmission(
+            query=parse_query(sql, name=f"churn-{position}"),
+            query_id=query_id,
+            policy=policy,
+            arrival_time=time,
+        )
+        events.append(ChurnEvent(time=time, action="admit", admission=admission))
+        events.append(
+            ChurnEvent(time=time + lifetime, action="retire", query_id=query_id)
+        )
+        position += 1
+    events.sort(key=lambda event: event.time)
+    return ChurnWorkload(
+        name="churn",
+        catalog=catalog,
+        events=tuple(events),
+        parameters={
+            "duration": duration,
+            "arrival_rate": arrival_rate,
+            "mean_lifetime": mean_lifetime,
+            "min_lifetime": min_lifetime,
+            "rows": rows,
+            "policy": policy,
+            "queries": position,
+            "seed": seed,
+        },
     )

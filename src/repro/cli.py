@@ -9,6 +9,8 @@ Usage::
         --engine stems --policy benefit     # run a query on the built-in demo catalog
     python -m repro multi --queries 8 --stagger 4.0
                                             # N staggered queries over shared SteMs
+    python -m repro multi --churn --duration 60 --arrival-rate 0.25 \
+        --eviction time-window --window 200  # continuous-query churn service
 
 The demo catalog used by ``query`` is the paper's Table 3 trio (R, S, T) with
 a scan on R, index AMs on S, and both a scan and an index on T.
@@ -29,9 +31,9 @@ from repro.bench.experiments import (
     run_spanning_tree,
 )
 from repro.bench.report import comparison_summary
-from repro.bench.workloads import staggered_fleet_workload
+from repro.bench.workloads import churn_workload, staggered_fleet_workload
 from repro.engine.api import execute
-from repro.engine.multi import run_multi
+from repro.engine.multi import run_churn, run_multi
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_s, make_source_t
 
@@ -88,7 +90,46 @@ def _print_extensions() -> None:
           f"{prioritized.notes['mean_priority_output_time[prioritized]']}s")
 
 
+def _run_churn(args: argparse.Namespace) -> None:
+    workload = churn_workload(
+        duration=args.duration,
+        arrival_rate=args.arrival_rate,
+        mean_lifetime=args.mean_lifetime,
+        rows=args.rows,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    result = run_churn(
+        workload.events,
+        workload.catalog,
+        shared_stems=not args.private_stems,
+        batch_size=args.batch_size,
+        stem_eviction=args.eviction,
+        stem_max_size=args.window if args.eviction in ("count", "reference-window")
+        else None,
+        stem_window=args.window if args.eviction == "time-window" else None,
+    )
+    print(result.summary())
+    stats = result.registry_stats
+    if stats:
+        print(
+            f"Registry churn: {stats['stems']} SteMs created, "
+            f"{stats['reclaimed']} reclaimed on retirement, "
+            f"{stats['indexes_dropped']} per-query indexes dropped, "
+            f"{stats['releases']} releases"
+        )
+    evictions = sum(
+        stem.get("evictions", 0) for stem in result.stem_stats.values()
+    )
+    if args.eviction:
+        print(f"Window eviction ({args.eviction}, {args.window}): "
+              f"{evictions} rows evicted")
+
+
 def _run_multi(args: argparse.Namespace) -> None:
+    if args.churn:
+        _run_churn(args)
+        return
     workload = staggered_fleet_workload(
         n_queries=args.queries,
         stagger=args.stagger,
@@ -181,6 +222,26 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the private-SteM comparison run (which "
                                    "otherwise doubles the simulation work)")
     multi_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
+    multi_parser.add_argument("--churn", action="store_true",
+                              help="continuous-query mode: Poisson query "
+                                   "arrivals and lifetimes, dynamic admission "
+                                   "and retirement over the shared SteMs")
+    multi_parser.add_argument("--duration", type=float, default=40.0,
+                              help="churn: virtual seconds of query arrivals")
+    multi_parser.add_argument("--arrival-rate", type=float, default=0.25,
+                              help="churn: Poisson query-arrival rate (1/s)")
+    multi_parser.add_argument("--mean-lifetime", type=float, default=15.0,
+                              help="churn: mean exponential query lifetime (s)")
+    multi_parser.add_argument("--eviction", default=None,
+                              choices=["count", "time-window", "reference-window"],
+                              help="churn: bound shared SteM state with this "
+                                   "eviction policy")
+    multi_parser.add_argument("--window", type=int, default=200,
+                              help="churn: eviction bound (rows for count/"
+                                   "reference-window, build-timestamp ticks "
+                                   "for time-window)")
+    multi_parser.add_argument("--seed", type=int, default=0,
+                              help="churn: workload RNG seed")
     return parser
 
 

@@ -131,6 +131,9 @@ class Eddy:
         #: query engines; the multi-query engine names each eddy after its
         #: admission and every tuple entering the dataflow is stamped with it.
         self.query_id = query_id
+        #: False once :meth:`shutdown` ran (query retirement): the dataflow
+        #: no longer accepts tuples and stray in-flight events become no-ops.
+        self.live = True
 
         self._ready: BoundedQueue[Routable] = BoundedQueue(None, name="eddy")
         self._blocked: dict[str, deque[Routable]] = {}
@@ -220,9 +223,17 @@ class Eddy:
         """Current virtual time."""
         return self.sim.now
 
-    def schedule(self, delay: float, callback, label: str = "") -> None:
-        """Schedule a callback on the simulator."""
-        self.sim.schedule(delay, callback, label)
+    def schedule(self, delay: float, callback, label: str = ""):
+        """Schedule a callback on the simulator; returns the Event handle.
+
+        Modules that must be cancellable on retirement (scan deliveries)
+        keep the returned handle and pass it back to :meth:`cancel`.
+        """
+        return self.sim.schedule(delay, callback, label)
+
+    def cancel(self, event) -> None:
+        """Cancel a scheduled event (no-op once it has fired)."""
+        self.sim.cancel(event)
 
     def next_timestamp(self) -> float:
         """Next global build timestamp (a monotonically increasing integer)."""
@@ -250,6 +261,11 @@ class Eddy:
     def to_eddy(self, item: Routable, source: Module | None = None) -> None:
         """Deliver a tuple (or EOT) into the eddy's dataflow."""
         del source
+        if not self.live:
+            # The query was retired: whatever in-flight work still completes
+            # (an outstanding index lookup, a busy module) has no dataflow
+            # to return to.
+            return
         if isinstance(item, QTuple):
             if self.layout is not None and item.layout is not self.layout:
                 # First entry of a tuple created before the layout was known
@@ -308,10 +324,35 @@ class Eddy:
     # -- execution ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start all modules (scans begin delivering) and the routing loop."""
+        """Start all modules (scans begin delivering) and the routing loop.
+
+        A no-op once the eddy has been shut down: a query may be retired
+        *before* its scheduled start event fires, and the dead dataflow
+        must not begin streaming then.
+        """
+        if not self.live:
+            return
         for module in self.modules.values():
             module.start()
         self._schedule_routing()
+
+    def shutdown(self) -> None:
+        """Tear the dataflow down (query retirement).
+
+        Stops every module (scans cancel their remaining deliveries), drops
+        the tuples still waiting for routing or service, and marks the eddy
+        dead so events already in flight on the simulator — service
+        completions, outstanding index lookups — become no-ops instead of
+        feeding a dataflow that no longer exists.  Idempotent.
+        """
+        if not self.live:
+            return
+        self.live = False
+        for module in self.modules.values():
+            module.stop()
+            module.queue.clear()
+        self._ready.clear()
+        self._blocked.clear()
 
     def run(self, until: float | None = None) -> float:
         """Start the query and run the simulator to completion (or ``until``)."""
@@ -319,7 +360,7 @@ class Eddy:
         return self.sim.run(until=until)
 
     def _schedule_routing(self) -> None:
-        if self._routing_scheduled or self._ready.is_empty:
+        if not self.live or self._routing_scheduled or self._ready.is_empty:
             return
         self._routing_scheduled = True
         time = max(self.now + self.costs.route_cost, self._route_not_before)
@@ -327,7 +368,7 @@ class Eddy:
 
     def _route_next(self) -> None:
         self._routing_scheduled = False
-        if self._ready.is_empty:
+        if not self.live or self._ready.is_empty:
             return
         batch: list[Routable] = [self._ready.pop()]
         while len(batch) < self.batch_size and not self._ready.is_empty:

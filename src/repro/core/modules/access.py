@@ -51,7 +51,10 @@ class ScanAMModule(Module):
         # per row, and the labels are needed whether or not a trace exists.
         self._deliver_label = f"{self.name}:deliver"
         self._eot_label = f"{self.name}:eot"
-        self.stats.update({"delivered": 0, "seed_probes": 0})
+        #: Handles of the scheduled delivery/EOT events, kept so a retiring
+        #: query can cancel the rows its scan would still have streamed.
+        self._scheduled_events: list = []
+        self.stats.update({"delivered": 0, "seed_probes": 0, "cancelled": 0})
 
     def start(self) -> None:
         """Schedule every row delivery plus the final scan EOT.
@@ -70,16 +73,41 @@ class ScanAMModule(Module):
             if self.spec.stall_at is not None and offset >= self.spec.stall_at:
                 offset += self.spec.stall_duration
             last_offset = offset
-            self.runtime.schedule(
-                offset,
-                self._make_delivery(row),
-                label=self._deliver_label,
+            self._note_scheduled(
+                self.runtime.schedule(
+                    offset,
+                    self._make_delivery(row),
+                    label=self._deliver_label,
+                )
             )
-        self.runtime.schedule(
-            last_offset + 1e-9,
-            self._deliver_eot,
-            label=self._eot_label,
+        self._note_scheduled(
+            self.runtime.schedule(
+                last_offset + 1e-9,
+                self._deliver_eot,
+                label=self._eot_label,
+            )
         )
+
+    def _note_scheduled(self, event) -> None:
+        if event is not None:
+            self._scheduled_events.append(event)
+
+    def stop(self) -> None:
+        """Cancel the deliveries (and EOT) this scan would still perform.
+
+        Called on query retirement; fired events are skipped (cancellation
+        of a popped event is a no-op), so no per-delivery bookkeeping is
+        needed.
+        """
+        assert self.runtime is not None
+        cancel = getattr(self.runtime, "cancel", None)
+        if cancel is not None:
+            for event in self._scheduled_events:
+                cancel(event)
+        # Rows this scan will now never deliver (the EOT event is not a row).
+        self.stats["cancelled"] += max(0, self.total - self.delivered)
+        self._scheduled_events.clear()
+        self.finished = True
 
     def _make_delivery(self, row):
         def deliver() -> None:
@@ -256,8 +284,22 @@ class IndexAMModule(Module):
                 label=self._lookup_label,
             )
 
+    def stop(self) -> None:
+        """Abandon queued lookups (query retirement).
+
+        Lookups already in flight complete as scheduled but their matches
+        are dropped by the dead eddy; the queue of not-yet-issued keys is
+        simply forgotten.
+        """
+        self._lookup_queue.clear()
+
     def _complete_lookup(self, key: tuple[Any, ...]) -> None:
         assert self.runtime is not None
+        if not getattr(self.runtime, "live", True):
+            # Retired mid-lookup: the answer has no dataflow to enter.
+            self._active_lookups -= 1
+            self._pending_keys.discard(key)
+            return
         self._active_lookups -= 1
         self._pending_keys.discard(key)
         self._completed_keys.add(key)

@@ -40,8 +40,12 @@ class EddyRuntime(Protocol):
         the right alias space from birth.  Modules read it defensively
         (``getattr``) — older runtimes may not provide it."""
 
-    def schedule(self, delay: float, callback, label: str = "") -> None:
-        """Schedule a callback on the engine's simulator."""
+    def schedule(self, delay: float, callback, label: str = ""):
+        """Schedule a callback on the engine's simulator.
+
+        Returns an event handle where the runtime supports cancellation
+        (see :class:`~repro.core.eddy.Eddy.cancel`); bare test runtimes may
+        return None, so modules treat the handle as opaque and optional."""
 
     def to_eddy(self, item: Routable, source: "Module") -> None:
         """Deliver a tuple back into the eddy's dataflow."""
@@ -100,6 +104,15 @@ class Module(ABC):
     def start(self) -> None:
         """Hook called once when query execution begins (e.g. scans seed here)."""
 
+    def stop(self) -> None:
+        """Hook called when the owning query is retired mid-run.
+
+        Subclasses with self-scheduled future work (scan deliveries, index
+        lookups) cancel or abandon it here; the base module needs nothing —
+        its in-flight service completion is defused by the runtime's
+        ``live`` flag (see :meth:`_complete`).
+        """
+
     # -- queueing and service ----------------------------------------------------
 
     def offer(self, item: Routable) -> bool:
@@ -133,6 +146,11 @@ class Module(ABC):
     def _complete(self, item: Routable) -> None:
         assert self.runtime is not None
         self.busy = False
+        if not getattr(self.runtime, "live", True):
+            # The query was retired while this item was in service: do not
+            # process it — a retired query's builds must not keep mutating
+            # SteM state other queries may share.
+            return
         self.stats["items"] += 1
         outputs = self.process(item)
         for output in outputs:

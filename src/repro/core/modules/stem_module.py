@@ -216,6 +216,15 @@ class SteMModule(Module):
         if notice is not None:
             notice()
 
+    def detach(self) -> None:
+        """Sever this module's hold on shared state (query retirement).
+
+        The base module only owns its fallback plan cache; the shared
+        wrapper additionally unhooks itself from the SteM's evict listeners.
+        """
+        self._probe_plans.clear()
+        self._plans_layout = None
+
     def _covers_probe(self, item: QTuple, target: str, outcome) -> bool:
         """Whether the probe outcome proves *this query* got every match.
 
@@ -293,8 +302,15 @@ class SharedSteMModule(SteMModule):
         #: across queries, so bounded-SteM results are the shared window's,
         #: not a private window's.)
         self._carried: set = set()
-        stem.add_evict_listener(self._carried.discard)
+        self._evict_callback = self._carried.discard
+        stem.add_evict_listener(self._evict_callback)
         self.stats.update({"shared_hits": 0})
+
+    def detach(self) -> None:
+        """Retirement teardown: leave no trace of this query on the SteM."""
+        super().detach()
+        self.stem.remove_evict_listener(self._evict_callback)
+        self._carried.clear()
 
     def _handle_build(self, item: QTuple) -> list[Routable]:
         assert self.runtime is not None

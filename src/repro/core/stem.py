@@ -15,8 +15,10 @@ behaviour of the paper:
 * the LastMatchTimeStamp mechanism enabling repeated probes when the
   BuildFirst constraint is relaxed (section 3.5);
 * secondary in-memory indexes on every join column (section 2.1.4);
-* optional bounded size with FIFO eviction, the hook used by the
-  continuous-query work (CACQ/PSOUP) that shares SteMs across queries.
+* optional bounded state with pluggable eviction policies — count-bounded
+  FIFO, a time window over build timestamps, or a reference window (LRU by
+  probe matches) — the hooks the continuous-query work (CACQ/PSOUP) that
+  shares SteMs across queries builds on.
 
 The SteM itself is a passive data structure; its integration with the
 simulator (service costs, queues) lives in ``repro.core.modules.stem_module``.
@@ -36,6 +38,143 @@ from repro.storage.indexes import RowIndex, build_index
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 from repro.core.tuples import EOTTuple, QTuple
+
+
+class EvictionPolicy:
+    """How a SteM bounds its stored state (CACQ/PSoUP sliding windows).
+
+    A policy is consulted after every build (:meth:`on_build`) and decides
+    which rows leave the window; reference-tracking policies additionally
+    observe probe matches (:meth:`on_match`).  Policies are stateless over
+    the SteM's own ordered row store, so one policy instance serves one SteM
+    for its whole life — including across full reclamation/rebuild cycles.
+    """
+
+    name = "none"
+    #: True when the policy wants :meth:`on_match` calls from the probe loop
+    #: (the hook costs a list append per match, so it is opt-in).
+    tracks_references = False
+
+    def on_build(self, stem: "SteM", row: Row, timestamp: float) -> None:
+        """Called after ``row`` was inserted with ``timestamp``."""
+
+    def on_match(self, stem: "SteM", row: Row) -> None:
+        """Called when a probe returned ``row`` as a match."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CountEviction(EvictionPolicy):
+    """Keep at most ``max_size`` rows, evicting the oldest insertion (FIFO).
+
+    The original ``max_size`` behaviour, now expressed as a policy.
+    """
+
+    name = "count"
+
+    def __init__(self, max_size: int):
+        if max_size < 1:
+            raise ExecutionError(f"count eviction needs max_size >= 1, got {max_size}")
+        self.max_size = max_size
+
+    def on_build(self, stem: "SteM", row: Row, timestamp: float) -> None:
+        while len(stem._rows) > self.max_size:
+            stem._evict_oldest()
+
+    def __repr__(self) -> str:
+        return f"CountEviction(max_size={self.max_size})"
+
+
+class TimeWindowEviction(EvictionPolicy):
+    """Keep only rows built within ``window`` of the newest build timestamp.
+
+    Build timestamps are the global monotone counter every eddy draws from,
+    so insertion order equals timestamp order and the expired prefix sits at
+    the front of the row store: each build pops rows whose timestamp is
+    ``<= timestamp - window``.  With unique integer timestamps this bounds
+    the stored rows to at most ``window``.
+    """
+
+    name = "time-window"
+
+    def __init__(self, window: float):
+        if window < 1:
+            raise ExecutionError(f"time-window eviction needs window >= 1, got {window}")
+        self.window = window
+
+    def on_build(self, stem: "SteM", row: Row, timestamp: float) -> None:
+        floor = timestamp - self.window
+        rows = stem._rows
+        while rows:
+            oldest = next(iter(rows))
+            if rows[oldest] > floor:
+                break
+            stem.evict(oldest)
+
+    def __repr__(self) -> str:
+        return f"TimeWindowEviction(window={self.window})"
+
+
+class ReferenceWindowEviction(EvictionPolicy):
+    """Keep the ``max_size`` most recently *referenced* rows (LRU).
+
+    A reference is a build or a probe match: matched rows move to the back
+    of the row store, so the front is always the least recently useful row —
+    hot rows survive a bounded window that plain FIFO would rotate out.
+    """
+
+    name = "reference-window"
+    tracks_references = True
+
+    def __init__(self, max_size: int):
+        if max_size < 1:
+            raise ExecutionError(
+                f"reference-window eviction needs max_size >= 1, got {max_size}"
+            )
+        self.max_size = max_size
+
+    def on_build(self, stem: "SteM", row: Row, timestamp: float) -> None:
+        while len(stem._rows) > self.max_size:
+            stem._evict_oldest()
+
+    def on_match(self, stem: "SteM", row: Row) -> None:
+        stem._rows.move_to_end(row)
+
+    def __repr__(self) -> str:
+        return f"ReferenceWindowEviction(max_size={self.max_size})"
+
+
+def make_eviction_policy(
+    kind: str | EvictionPolicy | None,
+    max_size: int | None = None,
+    window: float | None = None,
+) -> EvictionPolicy | None:
+    """Resolve an eviction-policy spec (name / instance / None) to a policy.
+
+    ``None`` with a ``max_size`` keeps the historical behaviour: a
+    count-bounded FIFO window.  ``None`` without a bound means no eviction.
+    """
+    if isinstance(kind, EvictionPolicy):
+        return kind
+    if kind is None:
+        return CountEviction(max_size) if max_size is not None else None
+    if kind == "count":
+        if max_size is None:
+            raise ExecutionError("count eviction needs max_size")
+        return CountEviction(max_size)
+    if kind == "time-window":
+        if window is None:
+            raise ExecutionError("time-window eviction needs window")
+        return TimeWindowEviction(window)
+    if kind == "reference-window":
+        if max_size is None:
+            raise ExecutionError("reference-window eviction needs max_size")
+        return ReferenceWindowEviction(max_size)
+    raise ExecutionError(
+        f"unknown eviction policy {kind!r} "
+        "(expected 'count', 'time-window' or 'reference-window')"
+    )
 
 
 @dataclass(frozen=True)
@@ -85,8 +224,11 @@ class SteM:
             index is maintained on each.
         index_kind: implementation of the secondary indexes (``"hash"``,
             ``"sorted"``, ``"list"`` or ``"adaptive"``).
-        max_size: optional bound on the number of stored rows; when full the
-            oldest row is evicted (sliding-window behaviour).
+        max_size: optional bound on the number of stored rows; without an
+            explicit ``eviction`` policy this selects count-bounded FIFO
+            eviction (the historical sliding-window behaviour).
+        eviction: optional :class:`EvictionPolicy` (or policy name resolved
+            through :func:`make_eviction_policy`) bounding the stored state.
         name: module name used in routing traces.
     """
 
@@ -97,6 +239,7 @@ class SteM:
         join_columns: Sequence[str] = (),
         index_kind: str = "hash",
         max_size: int | None = None,
+        eviction: EvictionPolicy | str | None = None,
         name: str | None = None,
     ):
         self.table = table
@@ -104,6 +247,7 @@ class SteM:
         self.join_columns = tuple(join_columns)
         self.index_kind = index_kind
         self.max_size = max_size
+        self.set_eviction(make_eviction_policy(eviction, max_size=max_size))
         self.name = name or f"stem:{table}"
         # Primary storage: insertion-ordered mapping row -> build timestamp.
         # Row equality is over (table, values), giving set semantics for free.
@@ -143,6 +287,16 @@ class SteM:
             "eot_builds": 0,
         }
 
+    def set_eviction(self, policy: EvictionPolicy | None) -> None:
+        """Install (or swap) the eviction policy, rewiring the probe-loop
+        reference hook — set only for reference-tracking policies so non-LRU
+        configurations pay nothing per match.  The new bound applies on the
+        next build."""
+        self.eviction = policy
+        self._reference_hook = (
+            policy if (policy is not None and policy.tracks_references) else None
+        )
+
     # -- sharing ----------------------------------------------------------------
 
     def add_alias(self, alias: str) -> None:
@@ -154,6 +308,11 @@ class SteM:
         """
         if alias not in self.aliases:
             self.aliases = self.aliases + (alias,)
+
+    def remove_alias(self, alias: str) -> None:
+        """Forget a query alias no live query probes through (retirement)."""
+        if alias in self.aliases:
+            self.aliases = tuple(a for a in self.aliases if a != alias)
 
     def ensure_join_columns(self, columns: Iterable[str]) -> None:
         """Maintain secondary indexes on additional join columns.
@@ -172,6 +331,20 @@ class SteM:
             self.index_epoch += 1
             if column not in self.join_columns:
                 self.join_columns = self.join_columns + (column,)
+
+    def drop_join_column(self, column: str) -> bool:
+        """Drop the secondary index on ``column`` (query retirement).
+
+        The registry calls this when the last query whose bindings needed the
+        index retires.  Bumps :attr:`index_epoch` so compiled probe plans
+        that resolved the index re-resolve against the surviving ones.
+        """
+        if column not in self._indexes:
+            return False
+        del self._indexes[column]
+        self.index_epoch += 1
+        self.join_columns = tuple(c for c in self.join_columns if c != column)
+        return True
 
     # -- build ------------------------------------------------------------------
 
@@ -200,8 +373,8 @@ class SteM:
             self._min_timestamp = timestamp
         if self._max_timestamp is None or timestamp > self._max_timestamp:
             self._max_timestamp = timestamp
-        if self.max_size is not None and len(self._rows) > self.max_size:
-            self._evict_oldest()
+        if self.eviction is not None:
+            self.eviction.on_build(self, row, timestamp)
         return BuildOutcome(duplicate=False, timestamp=timestamp)
 
     def build_batch(
@@ -277,6 +450,8 @@ class SteM:
         probe_timestamp = probe.timestamp
 
         done_ids = [p.predicate_id for p in predicates]
+        hook = self._reference_hook
+        matched_rows: list[Row] | None = [] if hook is not None else None
         for row in candidates:
             outcome.candidates_examined += 1
             row_timestamp = self._rows[row]
@@ -292,6 +467,13 @@ class SteM:
             outcome.results.append(
                 probe.extended(target_alias, row, row_timestamp, extra_done=done_ids)
             )
+            if matched_rows is not None:
+                matched_rows.append(row)
+        if matched_rows:
+            # Reference hooks may reorder the row store, so they run only
+            # after candidate iteration (candidates can alias ``_rows``).
+            for row in matched_rows:
+                hook.on_match(self, row)
         self.stats["matches"] += len(outcome.results)
         outcome.all_matches_known = self.covers(bindings)
         if update_last_match:
@@ -350,6 +532,8 @@ class SteM:
         generic = plan.generic_predicates
         done_ids = plan.done_ids
         results = outcome.results
+        hook = self._reference_hook
+        matched_rows: list[Row] | None = [] if hook is not None else None
         examined = 0
         suppressed = 0
         for row in candidates:
@@ -391,6 +575,13 @@ class SteM:
             results.append(
                 probe.extended(target_alias, row, row_timestamp, extra_done=done_ids)
             )
+            if matched_rows is not None:
+                matched_rows.append(row)
+        if matched_rows:
+            # As in :meth:`probe`: reorder the row store only after the
+            # candidate iteration has finished.
+            for row in matched_rows:
+                hook.on_match(self, row)
         outcome.candidates_examined = examined
         outcome.suppressed_by_timestamp = suppressed
         self.stats["matches"] += len(results)
@@ -519,6 +710,19 @@ class SteM:
     def add_evict_listener(self, callback) -> None:
         """Register a callback invoked with every evicted row."""
         self._evict_listeners.append(callback)
+
+    def remove_evict_listener(self, callback) -> bool:
+        """Unregister an evict listener (query retirement teardown).
+
+        Returns True when the callback was registered.  Retired queries must
+        come off the list, or the SteM would keep their per-query
+        bookkeeping (and the modules owning it) alive forever.
+        """
+        try:
+            self._evict_listeners.remove(callback)
+        except ValueError:
+            return False
+        return True
 
     def evict(self, row: Row) -> bool:
         """Remove a row (sliding-window / memory-pressure hook)."""

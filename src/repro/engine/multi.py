@@ -3,10 +3,14 @@
 The paper's pitch for SteMs is that decoupled join state is the natural unit
 of *sharing*: the continuous-query systems it cites (CACQ, PSoUP) run many
 concurrent queries over one set of SteMs.  This engine realises that inside
-the reproduction: N queries are admitted onto **one** discrete-event
-simulator, each with its own eddy, :class:`ConstraintChecker` and routing
-policy — but all queries that touch a base table probe (and build) the
-**same** SteM, drawn from a :class:`~repro.core.stem_registry.SteMRegistry`.
+the reproduction — as a **continuous-query service**: queries are admitted
+onto **one** discrete-event simulator, each with its own eddy,
+:class:`ConstraintChecker` and routing policy, all queries that touch a base
+table probe (and build) the **same** SteM drawn from a
+:class:`~repro.core.stem_registry.SteMRegistry` — and the fleet *churns*:
+:meth:`MultiQueryEngine.admit` admits a query onto the live simulator
+mid-run, and :meth:`MultiQueryEngine.retire` tears one down again,
+reclaiming every piece of state only that query needed.
 
 What is shared, and what stays per query:
 
@@ -20,6 +24,36 @@ What is shared, and what stays per query:
   per query — see :meth:`MultiQueryEngine.layout_of`), selection and
   access modules, statistics, outputs, and traces.  Every dataflow tuple is
   stamped with its query's id on entry.
+
+Differential admission semantics (what a late admission observes):
+
+* A query admitted at virtual time T starts its own scans at T — it sees
+  exactly the source rows its access methods deliver *after* its admission
+  (scan offsets are relative to module start), never a replay of rows it
+  "missed".
+* It immediately probes whatever the shared SteMs already hold: state built
+  by earlier queries answers its probes (§3.3's covering-probe semantics),
+  which is the sharing win — and the only way its results can differ from a
+  fresh run over its own post-T deliveries.
+* On a catalog slice no other query touches, an admission at T is therefore
+  *equivalent* to a fresh single-query run started at T: same routings,
+  same outputs, same trace shape (``tests/engine/test_churn.py`` pins this
+  differentially).
+
+Retirement semantics (:meth:`MultiQueryEngine.retire`):
+
+* the query's result set (everything emitted up to the retirement instant)
+  is snapshotted and reported in the final :class:`MultiQueryResult` with
+  ``retired_at`` set;
+* its eddy shuts down — scans cancel undelivered rows, queued tuples are
+  dropped, in-flight events become no-ops — so a retired query stops
+  consuming simulated resources *and* stops mutating shared state;
+* its modules detach from the shared SteMs (evict listeners removed,
+  per-layout probe-plan memos cleared), and the registry's per-table
+  refcounts are decremented: a SteM nobody references any more is reclaimed
+  wholesale, and secondary indexes only the retiring query's bindings
+  needed are dropped (``index_epoch`` moves so surviving compiled plans
+  re-resolve).
 
 Correctness notes (why per-query results equal each query run alone):
 
@@ -35,24 +69,26 @@ Correctness notes (why per-query results equal each query run alone):
 * Self-joins keep private per-alias SteMs: the TimeStamp discipline needs
   timestamp-distinct copies of a row under each alias to emit diagonal
   matches exactly once, so only single-reference tables are shared.
-* With ``stem_max_size`` set, the sliding window itself becomes shared
-  state: evictions follow the *interleaved* cross-query insert order, so
-  with several concurrent queries the per-query result sets reflect the
-  shared window (the CACQ/PSoUP semantics) rather than what each query
-  would see over a private window.  Run-alone equivalence is exact for
-  unbounded SteMs, and for a bounded SteM only while one query is admitted.
+* With bounded SteMs the sliding window itself becomes shared state:
+  evictions follow the *interleaved* cross-query insert order, so with
+  several concurrent queries the per-query result sets reflect the shared
+  window (the CACQ/PSoUP semantics) rather than what each query would see
+  over a private window.  Run-alone equivalence is exact for unbounded
+  SteMs, and for a bounded SteM only while one query is admitted.
 
 The sharing win is measured, not assumed: the shared configuration performs
 one table's worth of SteM *insertions* regardless of how many queries read
 the table, which `benchmarks/test_ablation_shared_stems.py` asserts against
-the private configuration along with byte-identical per-query results.
+the private configuration along with byte-identical per-query results; the
+churn machinery is measured by `benchmarks/test_ablation_churn.py` (bounded
+state and throughput under sustained admission/retirement).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.errors import ExecutionError
 from repro.core.costs import CostModel
@@ -60,7 +96,11 @@ from repro.core.eddy import Eddy
 from repro.core.modules.stem_module import SharedSteMModule, SteMModule
 from repro.core.policies import RoutingPolicy, make_policy
 from repro.core.stem import SteM
-from repro.core.stem_registry import SteMRegistry, stem_build_totals
+from repro.core.stem_registry import (
+    SteMRegistry,
+    merge_stem_totals,
+    stem_build_totals,
+)
 from repro.core.tuples import install_id_allocator
 from repro.engine.results import ExecutionResult, MultiQueryResult
 from repro.engine.stems_engine import (
@@ -107,14 +147,34 @@ class _AdmittedQuery:
     query: Query
     arrival_time: float
     eddy: Eddy
+    started: bool = False
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One entry of a churn schedule: admit or retire at a virtual time.
+
+    Attributes:
+        time: virtual time the event fires at.
+        action: ``"admit"`` or ``"retire"``.
+        admission: the :class:`QueryAdmission` (admit events).
+        query_id: the query to tear down (retire events).
+    """
+
+    time: float
+    action: str
+    admission: QueryAdmission | None = None
+    query_id: str = ""
 
 
 class MultiQueryEngine:
-    """Runs N queries concurrently on one simulator with shared SteMs.
+    """Runs a churning fleet of queries on one simulator with shared SteMs.
 
     Args:
-        admissions: the queries to admit.  Plain queries/SQL strings are
-            accepted and wrapped in default :class:`QueryAdmission`s.
+        admissions: the initial queries to admit.  Plain queries/SQL strings
+            are accepted and wrapped in default :class:`QueryAdmission`\\ s.
+            May be empty only with ``continuous=True`` (a service that will
+            receive its first query via :meth:`admit`).
         catalog: tables and access-method declarations (shared by all
             queries).
         shared_stems: share one SteM per base table across queries (the
@@ -125,14 +185,24 @@ class MultiQueryEngine:
         cost_model: virtual-time cost model (shared by all queries).
         strict_constraints: validate every routing decision of every query.
         stem_index_kind: secondary-index implementation inside SteMs.
-        stem_max_size: optional SteM row bound (CACQ/PSoUP sliding-window
-            eviction; applies to shared and private SteMs alike).
+        stem_max_size: optional SteM row bound (count / reference-window
+            policies; applies to shared and private SteMs alike).
+        stem_eviction: eviction-policy name applied to every SteM — shared
+            and private alike (``"count"``, ``"time-window"``,
+            ``"reference-window"``; None keeps the historical behaviour:
+            count-FIFO iff ``stem_max_size`` is set).  Per-table overrides
+            for shared SteMs go through ``registry.configure_table``.
+        stem_window: build-timestamp window width for
+            ``stem_eviction="time-window"``.
         batch_size: per-eddy routing batch (see :class:`~repro.core.eddy.Eddy`).
         compiled_probes: route SteM probes through compiled
             :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
             the interpreted predicate walk.  Each query's modules keep
             their own plan cache over their own layout, so shared SteMs
             never mix plans across queries.
+        continuous: allow starting with zero admissions (continuous-query
+            service mode; queries arrive later via :meth:`admit` or a
+            churn schedule).
     """
 
     def __init__(
@@ -144,8 +214,11 @@ class MultiQueryEngine:
         strict_constraints: bool = False,
         stem_index_kind: str = "hash",
         stem_max_size: int | None = None,
+        stem_eviction: str | None = None,
+        stem_window: float | None = None,
         batch_size: int = 1,
         compiled_probes: bool | None = None,
+        continuous: bool = False,
     ):
         self.catalog = catalog
         self.costs = cost_model or CostModel()
@@ -153,11 +226,18 @@ class MultiQueryEngine:
         self.strict_constraints = strict_constraints
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
+        self.stem_eviction = stem_eviction
+        self.stem_window = stem_window
         self.batch_size = batch_size
         self.compiled_probes = compiled_probes
         self.simulator = Simulator()
         self.registry: SteMRegistry | None = (
-            SteMRegistry(index_kind=stem_index_kind, max_size=stem_max_size)
+            SteMRegistry(
+                index_kind=stem_index_kind,
+                max_size=stem_max_size,
+                eviction=stem_eviction,
+                window=stem_window,
+            )
             if shared_stems
             else None
         )
@@ -165,31 +245,58 @@ class MultiQueryEngine:
         #: constraint requires a total order over builds across queries.
         self._timestamps = itertools.count(1)
         self._queries: list[_AdmittedQuery] = []
-        for position, entry in enumerate(admissions):
-            admission = (
-                entry
-                if isinstance(entry, QueryAdmission)
-                else QueryAdmission(query=entry)
-            )
-            self._admit(position, admission)
-        if not self._queries:
+        #: Every query id ever admitted, in admission order (retired ones
+        #: included — they keep their slot in the final result).
+        self._order: list[str] = []
+        self._all_ids: set[str] = set()
+        self._admission_counter = 0
+        self._started = False
+        #: Results snapshotted at retirement, keyed by query id.
+        self._retired: dict[str, ExecutionResult] = {}
+        #: Stats snapshots of retired queries' *private* SteMs (shared ones
+        #: stay live in the registry or fold into its reclaimed totals).
+        self._retired_stem_stats: dict[str, dict[str, int]] = {}
+        for entry in admissions:
+            self.admit(entry)
+        if not self._queries and not continuous:
             raise ExecutionError("a multi-query run needs at least one admission")
 
     # -- admission ---------------------------------------------------------------
 
-    def _admit(self, position: int, admission: QueryAdmission) -> None:
+    def admit(
+        self,
+        admission: QueryAdmission | Query | str,
+        at_time: float | None = None,
+    ) -> str:
+        """Admit one query — at construction time or onto the *live* run.
+
+        Before :meth:`run` this queues the admission exactly like a
+        constructor entry.  Once the simulator is live, the query's modules
+        are wired immediately and its scans are scheduled to start at
+        ``at_time`` (default: now, or the admission's ``arrival_time`` if
+        later): the query immediately probes whatever shared SteM state
+        exists, and only sees source rows delivered after its admission.
+
+        Returns the admitted query's id.
+        """
+        if not isinstance(admission, QueryAdmission):
+            admission = QueryAdmission(query=admission)
         query = (
             parse_query(admission.query)
             if isinstance(admission.query, str)
             else admission.query
         )
+        position = self._admission_counter
         query_id = admission.query_id or f"q{position}"
-        if any(ctx.query_id == query_id for ctx in self._queries):
+        if query_id in self._all_ids:
             raise ExecutionError(f"duplicate query id {query_id!r}")
         if admission.arrival_time < 0:
             raise ExecutionError(
                 f"arrival_time must be >= 0, got {admission.arrival_time}"
             )
+        start_time = at_time if at_time is not None else admission.arrival_time
+        if self._started:
+            start_time = max(start_time, self.simulator.now)
         policy = (
             make_policy(admission.policy)
             if isinstance(admission.policy, str)
@@ -213,17 +320,36 @@ class MultiQueryEngine:
         )
         eddy.preferences = list(admission.preferences)
         instantiate_stems_query(
-            query, self.catalog, eddy, self.costs, self._make_stem_module
+            query,
+            self.catalog,
+            eddy,
+            self.costs,
+            lambda ref, q: self._make_stem_module(ref, q, query_id),
         )
         if self.registry is not None:
             self.registry.attach_runtime(eddy)
-        self._queries.append(_AdmittedQuery(query_id, query, admission.arrival_time, eddy))
+        ctx = _AdmittedQuery(query_id, query, start_time, eddy)
+        self._queries.append(ctx)
+        self._order.append(query_id)
+        self._all_ids.add(query_id)
+        self._admission_counter += 1
+        if self._started:
+            ctx.started = True
+            self.simulator.schedule_at(
+                start_time, eddy.start, label=f"admit:{query_id}"
+            )
+        return query_id
 
-    def _make_stem_module(self, ref: TableRef, query: Query) -> SteMModule:
+    def _make_stem_module(
+        self, ref: TableRef, query: Query, owner: str
+    ) -> SteMModule:
         """Shared SteM for single-reference tables, private otherwise."""
         if self.registry is not None and len(query.aliases_of_table(ref.table)) == 1:
             stem = self.registry.stem_for(
-                ref.table, ref.alias, query.join_columns_of(ref.alias)
+                ref.table,
+                ref.alias,
+                query.join_columns_of(ref.alias),
+                owner=owner,
             )
             return SharedSteMModule(
                 stem,
@@ -240,22 +366,104 @@ class MultiQueryEngine:
             self.costs,
             index_kind=self.stem_index_kind,
             max_size=self.stem_max_size,
+            eviction=self.stem_eviction,
+            window=self.stem_window,
             compiled_probes=self.compiled_probes,
         )
+
+    # -- retirement --------------------------------------------------------------
+
+    def retire(self, query_id: str) -> ExecutionResult:
+        """Tear one query down and reclaim whatever only it needed.
+
+        The query's results up to now are snapshotted (and reported in the
+        final :class:`MultiQueryResult` with ``retired_at`` set), its eddy
+        shuts down (scans cancel undelivered rows, queued tuples drop,
+        in-flight events become no-ops), its modules detach from the shared
+        SteMs, its compiled probe-plan memo is cleared, and the registry
+        refcounts are released — reclaiming unreferenced SteMs and the
+        secondary indexes only this query's bindings needed.
+
+        Works on the live simulator (typically called from a scheduled
+        churn event) and equally after quiescence.
+        """
+        ctx = self._ctx(query_id)
+        now = self.simulator.now
+        result = collect_stems_result(
+            ctx.eddy, ctx.query, now, engine="stems", query_id=query_id
+        )
+        result.retired_at = now
+        for module in ctx.eddy.stems.values():
+            stem = module.stem
+            if not self._is_registry_stem(stem):
+                self._retired_stem_stats[f"{query_id}:{stem.name}"] = dict(stem.stats)
+            detach = getattr(module, "detach", None)
+            if detach is not None:
+                detach()
+        ctx.eddy.shutdown()
+        if self.registry is not None:
+            self.registry.detach_runtime(ctx.eddy)
+            self.registry.release(query_id)
+        if ctx.eddy.layout is not None:
+            # The per-layout probe-plan memo is the one cache shared SteM
+            # probes populate for this query; empty it so retired plans do
+            # not pin schemas/indexes through the snapshotted result tuples.
+            ctx.eddy.layout.probe_plans.clear()
+        self._queries.remove(ctx)
+        self._retired[query_id] = result
+        return result
+
+    def _ctx(self, query_id: str) -> _AdmittedQuery:
+        for ctx in self._queries:
+            if ctx.query_id == query_id:
+                return ctx
+        if query_id in self._retired:
+            raise ExecutionError(f"query {query_id!r} is already retired")
+        raise ExecutionError(f"unknown query id {query_id!r}")
+
+    # -- churn scheduling --------------------------------------------------------
+
+    def schedule_churn(self, events: Sequence[ChurnEvent]) -> None:
+        """Schedule a whole admission/retirement timeline on the simulator.
+
+        Events fire in time order (ties in the order given); admissions use
+        their event time as the query's start time.
+        """
+        for event in events:
+            if event.action == "admit":
+                if event.admission is None:
+                    raise ExecutionError("admit churn event needs an admission")
+                self.simulator.schedule_at(
+                    event.time,
+                    lambda a=event.admission, t=event.time: self.admit(a, at_time=t),
+                    label="churn:admit",
+                )
+            elif event.action == "retire":
+                if not event.query_id:
+                    raise ExecutionError("retire churn event needs a query_id")
+                self.simulator.schedule_at(
+                    event.time,
+                    lambda q=event.query_id: self.retire(q),
+                    label=f"churn:retire:{event.query_id}",
+                )
+            else:
+                raise ExecutionError(f"unknown churn action {event.action!r}")
 
     # -- execution ---------------------------------------------------------------
 
     @property
     def admitted(self) -> tuple[str, ...]:
-        """The admitted query ids, in admission order."""
+        """Every query id ever admitted, in admission order."""
+        return tuple(self._order)
+
+    @property
+    def active(self) -> tuple[str, ...]:
+        """The query ids currently live (admitted and not retired)."""
         return tuple(ctx.query_id for ctx in self._queries)
 
     def eddy_of(self, query_id: str) -> Eddy:
-        """The eddy executing one admitted query."""
-        for ctx in self._queries:
-            if ctx.query_id == query_id:
-                return ctx.eddy
-        raise ExecutionError(f"unknown query id {query_id!r}")
+        """The eddy executing one live admitted query."""
+        return self._ctx(query_id).eddy
 
     def layout_of(self, query_id: str):
         """The compiled :class:`~repro.query.layout.PlanLayout` of one query.
@@ -268,24 +476,46 @@ class MultiQueryEngine:
         return self.eddy_of(query_id).layout
 
     def run(self, until: float | None = None) -> MultiQueryResult:
-        """Admit every query at its arrival time and run to quiescence."""
-        install_id_allocator()
+        """Start every pending admission at its arrival time and run.
+
+        Runs the simulator to quiescence (or ``until``); may be called
+        again to continue a truncated run, and picks up admissions made in
+        between.
+        """
+        if not self._started:
+            install_id_allocator()
+            self._started = True
         for ctx in self._queries:
-            self.simulator.schedule(
-                ctx.arrival_time, ctx.eddy.start, label=f"admit:{ctx.query_id}"
-            )
+            if not ctx.started:
+                ctx.started = True
+                self.simulator.schedule_at(
+                    max(ctx.arrival_time, self.simulator.now),
+                    ctx.eddy.start,
+                    label=f"admit:{ctx.query_id}",
+                )
         final_time = self.simulator.run(until=until)
         return self._collect(final_time)
 
     # -- collection --------------------------------------------------------------
 
     def _collect(self, final_time: float) -> MultiQueryResult:
+        live = {ctx.query_id: ctx for ctx in self._queries}
         results: dict[str, ExecutionResult] = {}
-        for ctx in self._queries:
-            results[ctx.query_id] = collect_stems_result(
-                ctx.eddy, ctx.query, final_time, engine="stems", query_id=ctx.query_id
-            )
+        for query_id in self._order:
+            if query_id in self._retired:
+                results[query_id] = self._retired[query_id]
+            else:
+                ctx = live[query_id]
+                results[query_id] = collect_stems_result(
+                    ctx.eddy, ctx.query, final_time, engine="stems", query_id=query_id
+                )
         stem_stats: dict[str, dict[str, int]] = {}
+
+        def merge_stats(key: str, stats: dict) -> None:
+            bucket = stem_stats.setdefault(key, {})
+            for name, value in stats.items():
+                bucket[name] = bucket.get(name, 0) + value
+
         distinct: dict[int, SteM] = {}
         for ctx in self._queries:
             for module in ctx.eddy.stems.values():
@@ -297,14 +527,35 @@ class MultiQueryEngine:
                     key = stem.name
                 else:
                     key = f"{ctx.query_id}:{stem.name}"
-                stem_stats[key] = dict(stem.stats)
+                merge_stats(key, stem.stats)
+        if self.registry is not None:
+            # Shared SteMs whose every reader has retired (but which were
+            # pinned, e.g. by an anonymous acquisition) are reachable only
+            # through the registry.
+            for stem in self.registry.stems.values():
+                if id(stem) not in distinct:
+                    distinct[id(stem)] = stem
+                    merge_stats(stem.name, stem.stats)
+        totals = stem_build_totals(distinct.values())
+        if self.registry is not None:
+            for key, stats in self.registry.reclaimed_stats.items():
+                merge_stats(key, stats)
+                merge_stem_totals(totals, stats)
+        for key, stats in self._retired_stem_stats.items():
+            merge_stats(key, stats)
+            merge_stem_totals(totals, stats)
         return MultiQueryResult(
             results=results,
             final_time=final_time,
             shared_stems=self.shared_stems,
-            stem_totals=stem_build_totals(distinct.values()),
+            stem_totals=totals,
             stem_stats=stem_stats,
-            registry_stats=dict(self.registry.stats) if self.registry else {},
+            registry_stats=(
+                dict(self.registry.stats) if self.registry is not None else {}
+            ),
+            retired=tuple(
+                query_id for query_id in self._order if query_id in self._retired
+            ),
         )
 
     def _is_registry_stem(self, stem: SteM) -> bool:
@@ -315,7 +566,10 @@ class MultiQueryEngine:
 
     def __repr__(self) -> str:
         mode = "shared" if self.shared_stems else "private"
-        return f"MultiQueryEngine({len(self._queries)} queries, {mode} SteMs)"
+        return (
+            f"MultiQueryEngine({len(self._queries)} live queries, "
+            f"{len(self._retired)} retired, {mode} SteMs)"
+        )
 
 
 def run_multi(
@@ -342,4 +596,43 @@ def run_multi(
         stem_max_size=stem_max_size,
         compiled_probes=compiled_probes,
     )
+    return engine.run(until=until)
+
+
+def run_churn(
+    events: Sequence[ChurnEvent],
+    catalog,
+    shared_stems: bool = True,
+    cost_model: CostModel | None = None,
+    until: float | None = None,
+    strict_constraints: bool = False,
+    batch_size: int = 1,
+    stem_index_kind: str = "hash",
+    stem_max_size: int | None = None,
+    stem_eviction: str | None = None,
+    stem_window: float | None = None,
+    compiled_probes: bool | None = None,
+) -> MultiQueryResult:
+    """Run a churn schedule (dynamic admissions and retirements) to the end.
+
+    Builds a continuous-mode :class:`MultiQueryEngine`, schedules every
+    :class:`ChurnEvent` on the simulator, and runs — queries are created at
+    their admission instants on the live run, and torn down again at their
+    retirement instants.
+    """
+    engine = MultiQueryEngine(
+        [],
+        catalog,
+        shared_stems=shared_stems,
+        cost_model=cost_model,
+        strict_constraints=strict_constraints,
+        batch_size=batch_size,
+        stem_index_kind=stem_index_kind,
+        stem_max_size=stem_max_size,
+        stem_eviction=stem_eviction,
+        stem_window=stem_window,
+        compiled_probes=compiled_probes,
+        continuous=True,
+    )
+    engine.schedule_churn(events)
     return engine.run(until=until)

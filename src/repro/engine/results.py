@@ -77,6 +77,9 @@ class ExecutionResult:
             ``"A+B"``) — the interactive "partial results" of section 3.4.
         module_stats: per-module operational statistics.
         eddy_stats: the eddy's own statistics (routings, retirements...).
+        retired_at: virtual time the query was retired from a continuous
+            multi-query run (None when it ran to quiescence); the result
+            set is everything emitted up to that instant.
     """
 
     engine: str
@@ -90,6 +93,7 @@ class ExecutionResult:
     partial_series: dict[str, Series] = field(default_factory=dict)
     module_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     eddy_stats: dict[str, int] = field(default_factory=dict)
+    retired_at: float | None = None
 
     @property
     def row_count(self) -> int:
@@ -167,6 +171,8 @@ class MultiQueryResult:
             prefixed by the owning query id).
         registry_stats: the shared registry's own counters (empty when
             running with private SteMs).
+        retired: query ids that were retired before the run ended, in
+            admission order (their results are retirement-time snapshots).
     """
 
     results: dict[str, ExecutionResult] = field(default_factory=dict)
@@ -175,6 +181,7 @@ class MultiQueryResult:
     stem_totals: dict[str, int] = field(default_factory=dict)
     stem_stats: dict[str, dict[str, int]] = field(default_factory=dict)
     registry_stats: dict[str, int] = field(default_factory=dict)
+    retired: tuple[str, ...] = ()
 
     def __getitem__(self, query_id: str) -> ExecutionResult:
         return self.results[query_id]
@@ -221,13 +228,19 @@ class MultiQueryResult:
     def summary(self) -> str:
         """A short human-readable multi-line summary."""
         mode = "shared" if self.shared_stems else "private"
+        churn = f", {len(self.retired)} retired" if self.retired else ""
         lines = [
-            f"[multi/{mode}-stems] {len(self.results)} queries, "
+            f"[multi/{mode}-stems] {len(self.results)} queries{churn}, "
             f"{self.total_rows} rows, quiesced at {self.final_time:.1f}s, "
             f"{self.stem_totals.get('insertions', 0)} stem insertions "
             f"({self.stem_totals.get('duplicates', 0)} duplicate builds "
             "coalesced)"
         ]
         for query_id, result in self.results.items():
-            lines.append(f"  {query_id}: {result.summary()}")
+            flag = (
+                f" [retired at {result.retired_at:.1f}s]"
+                if result.retired_at is not None
+                else ""
+            )
+            lines.append(f"  {query_id}: {result.summary()}{flag}")
         return "\n".join(lines)

@@ -30,7 +30,7 @@ from repro.core.modules.access import IndexAMModule, ScanAMModule
 from repro.core.modules.selection import SelectionModule
 from repro.core.modules.stem_module import SteMModule
 from repro.core.policies import RoutingPolicy, make_policy
-from repro.core.stem import SteM
+from repro.core.stem import SteM, make_eviction_policy
 from repro.core.tuples import install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.query.binding import validate_bindings
@@ -119,6 +119,8 @@ def make_private_stem_module(
     costs: CostModel,
     index_kind: str = "hash",
     max_size: int | None = None,
+    eviction: str | None = None,
+    window: float | None = None,
     compiled_probes: bool | None = None,
 ) -> SteMModule:
     """A private SteM (and its module) for one FROM-clause entry.
@@ -128,6 +130,9 @@ def make_private_stem_module(
     single-query engine for every alias and by the multi-query engine for
     self-join aliases and its private-SteM ablation baseline — both must
     instantiate identically or the baselines stop being comparable.
+    ``eviction``/``window`` select a named eviction policy (the multi
+    engine forwards its registry-level configuration so private SteMs honour
+    the same bound); the default keeps count-FIFO iff ``max_size`` is set.
     """
     stem = SteM(
         table=ref.table,
@@ -135,6 +140,7 @@ def make_private_stem_module(
         join_columns=query.join_columns_of(ref.alias),
         index_kind=index_kind,
         max_size=max_size,
+        eviction=make_eviction_policy(eviction, max_size=max_size, window=window),
         name=f"stem:{ref.alias}",
     )
     return SteMModule(

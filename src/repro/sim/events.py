@@ -26,6 +26,11 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Set once the event has been popped and executed.  Cancelling a popped
+    #: event is a no-op — callers that keep handles to many scheduled events
+    #: (e.g. a scan AM tearing down on query retirement) may cancel them all
+    #: without tracking which already fired.
+    popped: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
@@ -69,6 +74,7 @@ class EventQueue:
                 self._dead -= 1
                 continue
             self._live -= 1
+            event.popped = True
             return event
         return None
 
@@ -82,8 +88,8 @@ class EventQueue:
         return self._heap[0].time
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
+        """Cancel a previously scheduled event (no-op once it has fired)."""
+        if not event.cancelled and not event.popped:
             event.cancel()
             self._live -= 1
             self._dead += 1

@@ -86,6 +86,16 @@ class BoundedQueue(Generic[ItemT]):
         """The oldest item without removing it, or None if empty."""
         return self._items[0] if self._items else None
 
+    def clear(self) -> int:
+        """Drop every queued item; return how many were dropped.
+
+        Used when a dataflow is torn down (query retirement): items still
+        waiting for service belong to a query that no longer exists.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._items)
 

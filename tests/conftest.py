@@ -4,6 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from _repro_bootstrap import ensure_src_on_path
+
+ensure_src_on_path()
+
 from repro.query.parser import parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import make_source_r, make_source_s, make_source_t

@@ -117,6 +117,7 @@ def predicate_pool():
     ]
 
 
+@pytest.mark.slow
 class TestPropertyEquivalence:
     @given(data=st.data())
     @settings(max_examples=120, deadline=None)

@@ -156,6 +156,7 @@ class TestResultObject:
         assert "stems" in text and "60 rows" in text
 
 
+@pytest.mark.slow
 @settings(max_examples=12, deadline=None)
 @given(
     seed=st.integers(0, 1000),
