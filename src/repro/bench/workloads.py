@@ -21,16 +21,22 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.costs import CostModel
 from repro.engine.multi import ChurnEvent, QueryAdmission
 from repro.query.parser import parse_query
 from repro.query.predicates import selection
 from repro.query.query import Query
+from repro.sim.latency import burst_windows
 from repro.storage.catalog import Catalog
 from repro.storage.datagen import (
     make_cyclic_triple,
+    make_edges_table,
+    make_phase_shift_table,
+    make_skewed_pair,
     make_source_r,
     make_source_s,
     make_source_t,
+    make_string_dimension,
 )
 
 
@@ -42,6 +48,9 @@ class Workload:
         preferences: optional user-interest predicates (not filters) handed
             to the adaptive engines; tuples satisfying them get a priority
             boost (paper section 4.1's online metric).
+        cost_model: optional cost model the workload is calibrated against
+            (adversarial scenarios scale CPU costs up so routing-order
+            mistakes are measurable); None keeps the engine default.
     """
 
     name: str
@@ -49,6 +58,7 @@ class Workload:
     query: Query
     parameters: dict
     preferences: tuple = ()
+    cost_model: CostModel | None = None
 
     def __repr__(self) -> str:
         return f"Workload({self.name}, {self.parameters})"
@@ -482,6 +492,259 @@ def churn_workload(
             "rows": rows,
             "policy": policy,
             "queries": position,
+            "seed": seed,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial gauntlet workloads (hostile inputs; see repro.bench.adversarial).
+# ---------------------------------------------------------------------------
+
+#: CPU-cost scaling used by the gauntlet's single-query scenarios: with the
+#: default microscopic costs, routing-order mistakes are invisible next to
+#: source delivery times; scaling routing/selection/probe costs up makes a
+#: misordered selection pipeline *cost* something, which is exactly what the
+#: regret metric measures.
+GAUNTLET_COST_SCALE = 50.0
+
+
+def skewed_join_workload(
+    fact_rows: int = 600,
+    dim_rows: int = 100,
+    skew: float = 1.2,
+    hot_range: int = 1000,
+    strong_cutoff: int = 300,
+    weak_fraction: float = 0.9,
+    scan_rate: float = 400.0,
+    cost_scale: float = GAUNTLET_COST_SCALE,
+    seed: int = 0,
+) -> Workload:
+    """A fact/dimension join with Zipf-skewed keys and a mis-ordered filter.
+
+    ``F(id, fk, hot, cold)`` joins ``D(id, tag)`` on the Zipf-skewed ``fk``.
+    The SQL lists the *weak* predicate first (``cold < 90% of the range``,
+    passes ~90%) and the *strong* one second (``hot > strong_cutoff``,
+    passes only the Zipf tail, ~8%), so a policy that routes in syntactic
+    order pays the weak selection for every fact row before the strong one
+    drops it.  Adaptive policies should learn to reverse the order.
+    """
+    fact, dim = make_skewed_pair(
+        fact_rows=fact_rows,
+        dim_rows=dim_rows,
+        skew=skew,
+        hot_range=hot_range,
+        seed=seed,
+    )
+    catalog = Catalog()
+    catalog.add_table(fact)
+    catalog.add_table(dim)
+    catalog.add_scan("F", rate=scan_rate)
+    catalog.add_scan("D", rate=scan_rate)
+    weak_cutoff = int(hot_range * weak_fraction)
+    query = parse_query(
+        "SELECT * FROM F, D WHERE F.fk = D.id "
+        f"AND F.cold < {weak_cutoff} AND F.hot > {strong_cutoff}",
+        name="gauntlet-skew",
+    )
+    return Workload(
+        name="skewed_join",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "fact_rows": fact_rows,
+            "dim_rows": dim_rows,
+            "skew": skew,
+            "strong_cutoff": strong_cutoff,
+            "weak_cutoff": weak_cutoff,
+            "cost_scale": cost_scale,
+            "seed": seed,
+        },
+        cost_model=CostModel().scaled(cost_scale),
+    )
+
+
+def phase_shift_workload(
+    rows: int = 600,
+    phases: int = 2,
+    wide_range: int = 1000,
+    narrow_range: int = 60,
+    scan_rate: float = 400.0,
+    cost_scale: float = GAUNTLET_COST_SCALE,
+    seed: int = 0,
+) -> Workload:
+    """Correlated predicates whose selectivities *swap* mid-run.
+
+    ``P`` is generated in contiguous blocks (see
+    :func:`~repro.storage.datagen.make_phase_shift_table`): in even blocks
+    ``a < narrow_range`` is highly selective and ``b < narrow_range`` passes
+    everything, in odd blocks the two swap.  Scans deliver in physical
+    order, so any fixed selection order is wrong for half the rows — the
+    workload that defeats lifetime-average selectivity estimates and
+    rewards policies that track *recent* behaviour.
+    """
+    table = make_phase_shift_table(
+        "P",
+        rows,
+        phases=phases,
+        wide_range=wide_range,
+        narrow_range=narrow_range,
+        seed=seed,
+    )
+    dim = make_string_dimension("D", narrow_range, seed=seed + 1)
+    catalog = Catalog()
+    catalog.add_table(table)
+    catalog.add_table(dim)
+    catalog.add_scan("P", rate=scan_rate)
+    catalog.add_scan("D", rate=scan_rate)
+    query = parse_query(
+        "SELECT * FROM P, D WHERE P.fk = D.id "
+        f"AND P.a < {narrow_range} AND P.b < {narrow_range}",
+        name="gauntlet-shift",
+    )
+    return Workload(
+        name="phase_shift",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "phases": phases,
+            "wide_range": wide_range,
+            "narrow_range": narrow_range,
+            "cost_scale": cost_scale,
+            "seed": seed,
+        },
+        cost_model=CostModel().scaled(cost_scale),
+    )
+
+
+def bursty_join_workload(
+    rows: int = 400,
+    scan_rate: float = 100.0,
+    burst_period: float = 2.0,
+    up_fraction: float = 0.5,
+    jitter: float = 0.5,
+    index_latency: float = 0.05,
+    strong_fraction: float = 0.125,
+    cost_scale: float = 20.0,
+    seed: int = 0,
+) -> Workload:
+    """A join whose sources stall, burst, and deliver out of order.
+
+    The R scan follows a scripted periodic outage schedule — rows due
+    during a down-window burst out at recovery — while the T scan's
+    deliveries are jittered enough to arrive out of physical order, and the
+    T index answers with exponentially distributed latencies.  Correctness
+    must survive all three; the selection pair (weak listed first) keeps
+    the routing-order question alive for the adaptivity scorecard.
+    """
+    distinct_a = max(rows // 4, 1)
+    catalog = Catalog()
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    horizon = 2.0 * rows / scan_rate + burst_period
+    stalls = tuple(
+        (window.start, window.duration)
+        for window in burst_windows(burst_period, up_fraction, horizon)
+    )
+    catalog.add_scan("R", rate=scan_rate, stalls=stalls)
+    catalog.add_scan(
+        "T", rate=scan_rate, jitter=jitter, jitter_seed=seed + 2
+    )
+    catalog.add_index(
+        "T",
+        ["key"],
+        latency=index_latency,
+        latency_model="exponential",
+        latency_seed=seed + 3,
+    )
+    strong_cutoff = max(1, int(distinct_a * strong_fraction))
+    query = parse_query(
+        "SELECT * FROM R, T WHERE R.key = T.key "
+        f"AND R.a < {distinct_a} AND R.a < {strong_cutoff}",
+        name="gauntlet-burst",
+    )
+    return Workload(
+        name="bursty_join",
+        catalog=catalog,
+        query=query,
+        parameters={
+            "rows": rows,
+            "burst_period": burst_period,
+            "up_fraction": up_fraction,
+            "jitter": jitter,
+            "index_latency": index_latency,
+            "strong_cutoff": strong_cutoff,
+            "cost_scale": cost_scale,
+            "seed": seed,
+        },
+        cost_model=CostModel().scaled(cost_scale),
+    )
+
+
+def heterogeneous_shapes_workload(
+    rows: int = 150,
+    nodes: int = 30,
+    edges: int = 120,
+    stagger: float = 2.0,
+    policy: str = "naive",
+    seed: int = 0,
+) -> MultiQueryWorkload:
+    """A fleet of star, chain, self-join, and cyclic queries on one catalog.
+
+    The chain and the cycle read the same three tables (A, B, C), so their
+    SteMs are shared; the self-join reads one table under two aliases (one
+    private SteM per alias); the star joins through a single hub.  A shape
+    mix none of the homogeneous fleets exercise.
+    """
+    catalog = Catalog()
+    distinct_a = max(rows // 4, 1)
+    catalog.add_table(make_source_r(rows, distinct_a=distinct_a, seed=seed))
+    catalog.add_table(make_source_s(distinct_a))
+    catalog.add_table(make_source_t(rows, seed=seed + 1))
+    for table in make_cyclic_triple(rows, seed=seed + 2, match_fraction=0.4):
+        catalog.add_table(table)
+    catalog.add_table(make_edges_table("E", nodes=nodes, edges=edges, seed=seed + 3))
+    for name in ("R", "S", "T", "A", "B", "C", "E"):
+        catalog.add_scan(name, rate=200.0)
+    shapes = (
+        (
+            "star",
+            "SELECT * FROM R, S, T WHERE R.a = S.x AND R.key = T.key",
+        ),
+        (
+            "chain",
+            "SELECT * FROM A, B, C WHERE A.ab = B.ab AND B.bc = C.bc",
+        ),
+        (
+            "selfjoin",
+            f"SELECT * FROM E e1, E e2 WHERE e1.dst = e2.src AND e1.src < {nodes // 2}",
+        ),
+        (
+            "cycle",
+            "SELECT * FROM A, B, C "
+            "WHERE A.ab = B.ab AND B.bc = C.bc AND C.ca = A.ca",
+        ),
+    )
+    admissions = tuple(
+        QueryAdmission(
+            query=parse_query(sql, name=f"shape-{shape}"),
+            query_id=shape,
+            policy=policy,
+            arrival_time=stagger * position,
+        )
+        for position, (shape, sql) in enumerate(shapes)
+    )
+    return MultiQueryWorkload(
+        name="heterogeneous_shapes",
+        catalog=catalog,
+        admissions=admissions,
+        parameters={
+            "rows": rows,
+            "nodes": nodes,
+            "edges": edges,
+            "stagger": stagger,
+            "policy": policy,
             "seed": seed,
         },
     )

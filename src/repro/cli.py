@@ -11,6 +11,8 @@ Usage::
                                             # N staggered queries over shared SteMs
     python -m repro multi --churn --duration 60 --arrival-rate 0.25 \
         --eviction time-window --window 200  # continuous-query churn service
+    python -m repro gauntlet                # the adversarial workload gauntlet
+    python -m repro gauntlet --scenario skew --smoke --json out.json
 
 The demo catalog used by ``query`` is the paper's Table 3 trio (R, S, T) with
 a scan on R, index AMs on S, and both a scan and an index on T.
@@ -19,9 +21,15 @@ a scan on R, index AMs on S, and both a scan and an index on T.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro.bench.adversarial import (
+    gauntlet_scenarios,
+    gauntlet_summary,
+    run_gauntlet,
+)
 from repro.bench.experiments import (
     index_probe_series,
     run_competitive_ams,
@@ -161,6 +169,20 @@ def _run_multi(args: argparse.Namespace) -> None:
         )
 
 
+def _run_gauntlet(args: argparse.Namespace) -> int:
+    payload = run_gauntlet(
+        names=args.scenario or None,
+        smoke=args.smoke,
+        bins=args.bins,
+    )
+    print(gauntlet_summary(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"gauntlet": payload}, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if payload["all_correct"] else 1
+
+
 def _run_query(args: argparse.Namespace) -> None:
     result = execute(
         args.sql,
@@ -242,6 +264,26 @@ def build_parser() -> argparse.ArgumentParser:
                                    "for time-window)")
     multi_parser.add_argument("--seed", type=int, default=0,
                               help="churn: workload RNG seed")
+    gauntlet_parser = subparsers.add_parser(
+        "gauntlet",
+        help="run the adversarial workload gauntlet (hostile generators, "
+             "differential oracles, adaptivity scorecard)",
+    )
+    gauntlet_parser.add_argument(
+        "--scenario", action="append",
+        choices=sorted(gauntlet_scenarios()),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    gauntlet_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-smoke sizes: a few hundred routed tuples per scenario",
+    )
+    gauntlet_parser.add_argument(
+        "--bins", type=int, default=12,
+        help="time buckets in the routing-share series")
+    gauntlet_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full scorecard payload as JSON")
     return parser
 
 
@@ -257,6 +299,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_query(args)
     elif args.command == "multi":
         _run_multi(args)
+    elif args.command == "gauntlet":
+        return _run_gauntlet(args)
     return 0
 
 

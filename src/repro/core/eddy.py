@@ -260,7 +260,11 @@ class Eddy:
 
     def to_eddy(self, item: Routable, source: Module | None = None) -> None:
         """Deliver a tuple (or EOT) into the eddy's dataflow."""
-        del source
+        if source is not None and self.live:
+            # Production feedback for learning policies: consumption is
+            # observed in choose(), production here, and the difference is
+            # the selectivity signal (lottery's ticket escrow).
+            self.policy.on_producer_output(source, item, self)
         if not self.live:
             # The query was retired: whatever in-flight work still completes
             # (an outstanding index lookup, a busy module) has no dataflow

@@ -16,13 +16,19 @@ join-module and SteM architectures.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Sequence
 
 from repro.core.modules.base import Module, Routable
 from repro.core.tuples import EOTTuple, QTuple, singleton_tuple
 from repro.query.predicates import Predicate
 from repro.query.probeplan import bind_key_from_sources, compile_bind_sources
-from repro.sim.latency import AvailabilityModel, ConstantLatency, LatencyModel
+from repro.sim.latency import (
+    AvailabilityModel,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+)
 from repro.storage.catalog import IndexSpec, ScanSpec
 from repro.storage.table import Table
 
@@ -64,15 +70,33 @@ class ScanAMModule(Module):
         its declared rate from its own admission time instead of burst-
         delivering the rows it "missed".  ``stall_at`` is likewise relative
         to the scan's start.
+
+        Two hostile-source behaviours compose on top of the nominal rate:
+        scripted ``stalls`` windows, during which due rows pile up and burst
+        out at the window's end (unlike ``stall_at``, which shifts every
+        later delivery), and per-row ``jitter``, which perturbs delivery
+        times enough to reorder rows relative to physical storage order.
         """
         assert self.runtime is not None
         rate = max(self.spec.rate, 1e-9)
+        outages = (
+            AvailabilityModel.from_pairs(self.spec.stalls)
+            if self.spec.stalls
+            else None
+        )
+        jitter_rng = (
+            random.Random(self.spec.jitter_seed) if self.spec.jitter > 0 else None
+        )
         last_offset = self.spec.initial_delay
         for position, row in enumerate(self.table):
             offset = self.spec.initial_delay + (position + 1) / rate
             if self.spec.stall_at is not None and offset >= self.spec.stall_at:
                 offset += self.spec.stall_duration
-            last_offset = offset
+            if jitter_rng is not None:
+                offset += jitter_rng.uniform(0.0, self.spec.jitter)
+            if outages is not None:
+                offset = outages.next_available(offset)
+            last_offset = max(last_offset, offset)
             self._note_scheduled(
                 self.runtime.schedule(
                     offset,
@@ -205,8 +229,18 @@ class IndexAMModule(Module):
         self.table = table
         self.alias = alias
         self.predicates = tuple(predicates)
-        self.latency = latency or ConstantLatency(spec.latency)
-        self.availability = availability or AvailabilityModel.always_available()
+        if latency is not None:
+            self.latency = latency
+        elif spec.latency_model == "exponential":
+            self.latency = ExponentialLatency(spec.latency, seed=spec.latency_seed)
+        else:
+            self.latency = ConstantLatency(spec.latency)
+        if availability is not None:
+            self.availability = availability
+        elif spec.stalls:
+            self.availability = AvailabilityModel.from_pairs(spec.stalls)
+        else:
+            self.availability = AvailabilityModel.always_available()
         # Bind-column derivation compiled once: the predicates are static,
         # so the per-probe isinstance/column_for scan of the predicate list
         # collapses to a precomputed source walk (bind_key is also called by

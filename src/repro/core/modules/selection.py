@@ -18,10 +18,16 @@ class SelectionModule(Module):
 
     kind = "selection"
 
+    #: EMA smoothing for :attr:`recent_selectivity`; 0.05 means the last
+    #: ~20 tuples dominate, quick enough to track a mid-run selectivity
+    #: shift that the lifetime average would smear away.
+    RECENT_ALPHA = 0.05
+
     def __init__(self, predicate: Predicate, cost: float = 1e-4, name: str | None = None):
         super().__init__(name or f"select:{predicate.name}", cost=cost)
         self.predicate = predicate
         self.stats.update({"passed": 0, "dropped": 0})
+        self._recent: float | None = None
 
     def process(self, item: Routable) -> list[Routable]:
         if isinstance(item, EOTTuple):
@@ -37,14 +43,22 @@ class SelectionModule(Module):
                 # priority, so routing policies can favour them (§4.1).
                 item.priority = self.predicate.priority
             self.stats["passed"] += 1
+            self._note_outcome(1.0)
             return [item]
         item.failed = True
         self.stats["dropped"] += 1
+        self._note_outcome(0.0)
         # The failed tuple goes back to the eddy, which removes it from the
         # dataflow with full accounting (trace record + the policy's
         # on_retire feedback) — swallowing it here would leave the drop
         # invisible to traces and learning policies.
         return [item]
+
+    def _note_outcome(self, passed: float) -> None:
+        if self._recent is None:
+            self._recent = passed
+        else:
+            self._recent += self.RECENT_ALPHA * (passed - self._recent)
 
     @property
     def observed_selectivity(self) -> float:
@@ -53,3 +67,16 @@ class SelectionModule(Module):
         if not total:
             return 0.5
         return self.stats["passed"] / total
+
+    @property
+    def recent_selectivity(self) -> float:
+        """EMA of recent pass outcomes (0.5 before any data).
+
+        Tracks *current* predicate behaviour: under a correlated workload
+        whose selectivity shifts mid-run, the lifetime average lags the
+        shift by everything it has already seen, while this estimate
+        converges within ~1/RECENT_ALPHA tuples.
+        """
+        if self._recent is None:
+            return 0.5
+        return self._recent

@@ -69,6 +69,12 @@ class SteMModule(Module):
         self._probe_plans: dict[tuple, ProbePlan] = {}
         self._plans_layout = None
         self.stats.update({"builds": 0, "probes": 0, "results": 0, "duplicates": 0})
+        #: Per-probe-signature (spanned_mask, done_mask) → [probes, results].
+        #: Probes from different tuple states can have wildly different
+        #: match rates (a half-spanned composite vs a fresh singleton);
+        #: benefit routing consults these before falling back to the
+        #: module-wide average.
+        self.signature_stats: dict[tuple[int, int], list[int]] = {}
 
     # -- service ------------------------------------------------------------------
 
@@ -139,6 +145,11 @@ class SteMModule(Module):
         else:
             outcome = self.stem.probe(item, target, self._pending_predicates(item, target))
         self.stats["results"] += len(outcome.results)
+        counters = self.signature_stats.setdefault(
+            (item.spanned_mask, item.done_mask), [0, 0]
+        )
+        counters[0] += 1
+        counters[1] += len(outcome.results)
         if outcome.results:
             # n-ary SHJ discipline: once a probe produced concatenations, the
             # original tuple stops probing further SteMs; its extensions
@@ -242,6 +253,20 @@ class SteMModule(Module):
     def size(self) -> int:
         """Number of rows currently stored in the SteM."""
         return len(self.stem)
+
+    def signature_match_rate(
+        self, spanned_mask: int, done_mask: int, min_probes: int = 5
+    ) -> float | None:
+        """Observed matches-per-probe for one probe signature, or None.
+
+        Returns None until ``min_probes`` probes with this exact
+        (spanned_mask, done_mask) state have been observed, so callers fall
+        back to a coarser estimate instead of trusting noise.
+        """
+        counters = self.signature_stats.get((spanned_mask, done_mask))
+        if counters is None or counters[0] < min_probes:
+            return None
+        return counters[1] / counters[0]
 
     @property
     def scan_complete(self) -> bool:

@@ -74,6 +74,18 @@ class RoutingPolicy(ABC):
     def on_output(self, tuple_: QTuple, eddy: "Eddy") -> None:
         """Hook called when a result tuple is emitted (for learning policies)."""
 
+    def on_producer_output(self, module, item, eddy: "Eddy") -> None:
+        """Hook called for every item a module hands back to the eddy.
+
+        This is the "return a tuple, escrow a ticket" half of lottery
+        scheduling [Avnur & Hellerstein 2000]: :meth:`choose` observes
+        consumption, this hook observes production, and the difference is
+        the selectivity signal adaptive policies learn from.  ``module`` is
+        the producing :class:`~repro.core.modules.base.Module` (or None for
+        items injected without a producer); ``item`` may be a QTuple or an
+        EOT.  Default: no-op.
+        """
+
     def on_retire(self, tuple_: QTuple, eddy: "Eddy") -> None:
         """Hook called when a tuple leaves the dataflow without being output."""
 

@@ -81,18 +81,28 @@ class BenefitPolicy(RoutingPolicy):
             return 1e6
         if destination.action == "select":
             assert isinstance(module, SelectionModule)
-            drop_rate = 1.0 - module.observed_selectivity
+            # The *recent* pass rate, not the lifetime average: under a
+            # correlated workload whose selectivity shifts mid-run, the
+            # lifetime average keeps recommending yesterday's ordering.
+            drop_rate = 1.0 - module.recent_selectivity
             cost = max(module.cost, 1e-9)
             # Dropping early saves all downstream work: benefit ~ drop rate.
             return value * (0.1 + drop_rate) / cost
         if destination.action == "probe":
             assert isinstance(module, SteMModule)
-            probes = max(module.stats["probes"], 1)
-            expected_matches = module.stats["results"] / probes
-            if module.stats["probes"] < 5:
-                # Little evidence yet: assume the SteM yields in proportion
-                # to its fill level.
-                expected_matches = min(1.0, module.size / 100.0)
+            # Prefer the match rate observed for this tuple's exact probe
+            # signature — probes from different TupleStates can have wildly
+            # different yields — before the module-wide average.
+            expected_matches = module.signature_match_rate(
+                tuple_.spanned_mask, tuple_.done_mask
+            )
+            if expected_matches is None:
+                probes = max(module.stats["probes"], 1)
+                expected_matches = module.stats["results"] / probes
+                if module.stats["probes"] < 5:
+                    # Little evidence yet: assume the SteM yields in
+                    # proportion to its fill level.
+                    expected_matches = min(1.0, module.size / 100.0)
             cost = max(module.probe_cost, 1e-9)
             bonus = 0.5 if eddy.has_scan_am(destination.target_alias or "") else 0.0
             return value * (0.05 + expected_matches + bonus) / cost

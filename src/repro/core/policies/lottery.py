@@ -17,6 +17,10 @@ from repro.core.constraints import Destination
 from repro.core.policies.base import RoutingPolicy, split_required
 from repro.core.tuples import QTuple
 
+#: Module kinds whose outputs escrow tickets: the routed operators.  Scans
+#: are sources — their deliveries are new work, not returned work.
+_ESCROW_KINDS = frozenset({"selection", "stem", "index_am"})
+
 
 class LotteryPolicy(RoutingPolicy):
     """Ticket-based routing with exploration.
@@ -112,3 +116,20 @@ class LotteryPolicy(RoutingPolicy):
         # Producing final results is good: reward the source module lightly.
         if tuple_.source:
             self.credit(tuple_.source, 0.1)
+
+    def on_producer_output(self, module, item, eddy) -> None:
+        """Escrow a ticket when an operator returns a live tuple.
+
+        This is the second half of lottery scheduling: ``choose`` credits a
+        ticket on consumption, and every live tuple the module hands back
+        debits one.  A failed tuple (a selection drop) does *not* debit —
+        the drop is exactly the win the lottery rewards — so selective
+        modules run a ticket surplus proportional to their drop rate and
+        win more draws, while productive probes (many matches per input)
+        run a deficit and are deferred.
+        """
+        if getattr(module, "kind", None) not in _ESCROW_KINDS:
+            return
+        if not isinstance(item, QTuple) or item.failed:
+            return
+        self.debit(module.name, 1.0)

@@ -93,6 +93,39 @@ class StallWindow:
         return self.start <= time < self.end
 
 
+def burst_windows(
+    period: float,
+    up_fraction: float,
+    horizon: float,
+    offset: float = 0.0,
+) -> tuple[StallWindow, ...]:
+    """A scripted burst/stall schedule: up for part of each period, then down.
+
+    The source is available for ``up_fraction`` of every ``period`` and
+    stalled for the rest, repeating from ``offset`` until ``horizon``.
+    Deliveries due during a down-window pile up and burst out at the
+    window's end — the bursty-source behaviour of the adversarial gauntlet.
+
+    Args:
+        period: length of one up+down cycle, in virtual seconds.
+        up_fraction: fraction of each period the source is available
+            (0 < up_fraction <= 1; 1 yields no stalls).
+        horizon: schedule windows up to this virtual time.
+        offset: virtual time of the first period's start.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 < up_fraction <= 1.0:
+        raise ValueError(f"up_fraction must be in (0, 1], got {up_fraction}")
+    windows: list[StallWindow] = []
+    down = period * (1.0 - up_fraction)
+    start = offset + period * up_fraction
+    while start < horizon and down > 0:
+        windows.append(StallWindow(start, down))
+        start += period
+    return tuple(windows)
+
+
 class AvailabilityModel:
     """Stall behaviour of a source: a set of windows during which it is down.
 
@@ -110,6 +143,24 @@ class AvailabilityModel:
     @classmethod
     def single_stall(cls, start: float, duration: float) -> "AvailabilityModel":
         return cls((StallWindow(start, duration),))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[float, float]] | Sequence[StallWindow]
+    ) -> "AvailabilityModel":
+        """Build a model from ``(start, duration)`` pairs or StallWindows."""
+        windows = [
+            window if isinstance(window, StallWindow) else StallWindow(*window)
+            for window in pairs
+        ]
+        return cls(windows)
+
+    @classmethod
+    def bursty(
+        cls, period: float, up_fraction: float, horizon: float, offset: float = 0.0
+    ) -> "AvailabilityModel":
+        """A scripted periodic burst/stall schedule (see :func:`burst_windows`)."""
+        return cls(burst_windows(period, up_fraction, horizon, offset=offset))
 
     def next_available(self, time: float) -> float:
         """Earliest time >= ``time`` at which the source is available."""

@@ -53,6 +53,15 @@ class ScanSpec(AccessMethodSpec):
             admitted, so for a query admitted mid-simulation the stall
             happens ``arrival_time + stall_at`` into the run.
         stall_duration: how long the stall lasts (virtual seconds).
+        stalls: scripted outage schedule, a tuple of ``(start, duration)``
+            offsets relative to the scan's start.  Unlike ``stall_at``
+            (which shifts every later delivery), rows due during a scripted
+            outage pile up and *burst* out at the window's end — the hostile
+            bursty-source behaviour of the adversarial gauntlet.
+        jitter: per-row uniform delivery jitter in virtual seconds; with a
+            jitter larger than the inter-arrival gap, rows arrive
+            *out of physical order* (seeded by ``jitter_seed``).
+        jitter_seed: RNG seed for the delivery jitter.
         cost_per_row: CPU cost charged per delivered row (virtual seconds).
     """
 
@@ -60,6 +69,9 @@ class ScanSpec(AccessMethodSpec):
     initial_delay: float = 0.0
     stall_at: float | None = None
     stall_duration: float = 0.0
+    stalls: tuple[tuple[float, float], ...] = ()
+    jitter: float = 0.0
+    jitter_seed: int = 0
     cost_per_row: float = 0.0
 
     @property
@@ -80,7 +92,15 @@ class IndexSpec(AccessMethodSpec):
 
     Attributes:
         columns: the bind (key) columns of the index.
-        latency: virtual seconds per index lookup.
+        latency: virtual seconds per index lookup (the mean, for stochastic
+            latency models).
+        latency_model: ``"constant"`` (the paper's "sleeps of identical
+            duration") or ``"exponential"`` (a bursty remote service whose
+            lookups are exponentially distributed around ``latency``).
+        latency_seed: RNG seed for stochastic latency models.
+        stalls: scripted outage schedule, ``(start, duration)`` pairs in
+            absolute virtual time; lookups completing inside an outage are
+            pushed to its end (answers burst out at recovery).
         concurrency: number of lookups the index can serve concurrently
             (1 reproduces the paper's sequential remote index).
         matches_per_probe: optional cap on matches returned per lookup.
@@ -90,6 +110,9 @@ class IndexSpec(AccessMethodSpec):
 
     columns: tuple[str, ...] = ()
     latency: float = 1.0
+    latency_model: str = "constant"
+    latency_seed: int = 0
+    stalls: tuple[tuple[float, float], ...] = ()
     concurrency: int = 1
     matches_per_probe: int | None = None
     cache_results: bool = False
@@ -99,6 +122,11 @@ class IndexSpec(AccessMethodSpec):
             raise CatalogError(f"index AM {self.name!r} must have bind columns")
         if self.concurrency < 1:
             raise CatalogError(f"index AM {self.name!r} concurrency must be >= 1")
+        if self.latency_model not in ("constant", "exponential"):
+            raise CatalogError(
+                f"index AM {self.name!r} latency_model must be 'constant' or "
+                f"'exponential', got {self.latency_model!r}"
+            )
 
     @property
     def is_scan(self) -> bool:
@@ -174,6 +202,9 @@ class Catalog:
         initial_delay: float = 0.0,
         stall_at: float | None = None,
         stall_duration: float = 0.0,
+        stalls: Sequence[tuple[float, float]] = (),
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
         cost_per_row: float = 0.0,
     ) -> ScanSpec:
         """Declare a scan access method on a table."""
@@ -185,6 +216,9 @@ class Catalog:
             initial_delay=initial_delay,
             stall_at=stall_at,
             stall_duration=stall_duration,
+            stalls=tuple((float(s), float(d)) for s, d in stalls),
+            jitter=jitter,
+            jitter_seed=jitter_seed,
             cost_per_row=cost_per_row,
         )
         self._register(spec)
@@ -196,6 +230,9 @@ class Catalog:
         columns: Sequence[str],
         name: str | None = None,
         latency: float = 1.0,
+        latency_model: str = "constant",
+        latency_seed: int = 0,
+        stalls: Sequence[tuple[float, float]] = (),
         concurrency: int = 1,
         matches_per_probe: int | None = None,
     ) -> IndexSpec:
@@ -213,6 +250,9 @@ class Catalog:
             table=table,
             columns=tuple(columns),
             latency=latency,
+            latency_model=latency_model,
+            latency_seed=latency_seed,
+            stalls=tuple((float(s), float(d)) for s, d in stalls),
             concurrency=concurrency,
             matches_per_probe=matches_per_probe,
         )

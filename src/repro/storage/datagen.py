@@ -7,6 +7,7 @@ benchmark suites.  All generators are seeded for reproducibility.
 
 from __future__ import annotations
 
+import bisect
 import random
 import string
 from typing import Any, Callable, Sequence
@@ -113,6 +114,36 @@ def make_uniform_table(
     return table
 
 
+class ZipfDraw:
+    """A seeded Zipf(``skew``) sampler over ``0..distinct-1``.
+
+    The CDF is computed once at construction; each draw is a single RNG
+    call plus a binary search (the previous implementation walked the CDF
+    linearly on every row, turning an N-row table into O(N * distinct)
+    work).  Rank 0 is the most frequent value.
+    """
+
+    def __init__(self, distinct: int, skew: float = 1.0, seed: int = 0):
+        if distinct < 1:
+            raise ValueError(f"distinct must be >= 1, got {distinct}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.distinct = distinct
+        self.skew = skew
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(distinct)]
+        total = sum(weights)
+        self.cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self.cdf.append(acc)
+        self.cdf[-1] = 1.0  # guard against floating-point shortfall
+
+    def __call__(self) -> int:
+        return bisect.bisect_left(self.cdf, self._rng.random())
+
+
 def make_zipfian_table(
     name: str,
     cardinality: int,
@@ -126,26 +157,114 @@ def make_zipfian_table(
         distinct: number of distinct values.
         skew: Zipf exponent; 0 is uniform, larger is more skewed.
     """
-    rng = random.Random(seed)
-    weights = [1.0 / ((rank + 1) ** skew) for rank in range(distinct)]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for weight in weights:
-        acc += weight / total
-        cumulative.append(acc)
-
-    def draw() -> int:
-        point = rng.random()
-        for value, boundary in enumerate(cumulative):
-            if point <= boundary:
-                return value
-        return distinct - 1
-
+    draw = ZipfDraw(distinct, skew, seed=seed)
     schema = Schema.of("id:int", "value:int", key=["id"])
     table = Table(name, schema)
     for row_id in range(cardinality):
         table.insert((row_id, draw()))
+    return table
+
+
+def make_skewed_pair(
+    fact_rows: int = 600,
+    dim_rows: int = 100,
+    skew: float = 1.2,
+    hot_range: int = 1000,
+    seed: int = 0,
+    fact_name: str = "F",
+    dim_name: str = "D",
+) -> tuple[Table, Table]:
+    """A fact/dimension pair with Zipf-skewed join keys and a skewed column.
+
+    ``F(id, fk, hot, cold)`` joins ``D(id, tag)`` on ``F.fk = D.id``.  The
+    foreign key is Zipf(``skew``)-distributed over the dimension ids, so a
+    handful of dimension rows receive most of the fact references (the
+    hostile-locality case for SteM probes and eviction).  ``hot`` is also
+    Zipf-skewed over ``0..hot_range-1`` — most of its mass sits on small
+    values, so a predicate like ``F.hot > k`` is far more selective than the
+    uniform ``cold`` column suggests — while ``cold`` is uniform over the
+    same range.  Every dimension id exists, so the join loses no fact rows.
+    """
+    fk_draw = ZipfDraw(dim_rows, skew, seed=seed)
+    hot_draw = ZipfDraw(hot_range, skew, seed=seed + 1)
+    rng = random.Random(seed + 2)
+    fact_schema = Schema.of("id:int", "fk:int", "hot:int", "cold:int", key=["id"])
+    fact = Table(fact_name, fact_schema)
+    for row_id in range(fact_rows):
+        fact.insert((row_id, fk_draw(), hot_draw(), rng.randrange(hot_range)))
+    dim_schema = Schema.of("id:int", "tag:int", key=["id"])
+    dim = Table(dim_name, dim_schema)
+    for row_id in range(dim_rows):
+        dim.insert((row_id, row_id % 7))
+    return fact, dim
+
+
+def make_phase_shift_table(
+    name: str,
+    cardinality: int,
+    phases: int = 2,
+    wide_range: int = 1000,
+    narrow_range: int = 60,
+    seed: int = 0,
+    extra_key_column: bool = True,
+) -> Table:
+    """A table whose column distributions *shift* across physical row order.
+
+    ``name(id, fk, a, b)``: rows are generated in ``phases`` contiguous
+    blocks.  In even-numbered blocks ``a`` is drawn from the wide range
+    (so ``a < narrow_range`` is highly selective) while ``b`` is drawn from
+    the narrow range (``b < narrow_range`` always passes); odd-numbered
+    blocks swap the two.  Because scans deliver rows in physical order, the
+    observed selectivity of predicates on ``a`` and ``b`` flips mid-run —
+    the correlated-shift workload that defeats lifetime-average selectivity
+    estimates.  ``fk`` cycles ``0..narrow_range-1`` so the table can join a
+    dimension without losing rows.
+    """
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1, got {phases}")
+    rng = random.Random(seed)
+    columns = ["id:int", "fk:int", "a:int", "b:int"]
+    schema = Schema.of(*columns, key=["id"] if extra_key_column else [])
+    table = Table(name, schema)
+    block = max(1, cardinality // phases)
+    for row_id in range(cardinality):
+        phase = min(row_id // block, phases - 1)
+        if phase % 2 == 0:
+            a_value = rng.randrange(wide_range)
+            b_value = rng.randrange(narrow_range)
+        else:
+            a_value = rng.randrange(narrow_range)
+            b_value = rng.randrange(wide_range)
+        table.insert((row_id, row_id % narrow_range, a_value, b_value))
+    return table
+
+
+def make_edges_table(
+    name: str,
+    nodes: int = 40,
+    edges: int = 160,
+    seed: int = 0,
+) -> Table:
+    """A directed-graph edge table ``(id, src, dst)`` for self-join workloads.
+
+    Edges are uniform random pairs over ``0..nodes-1`` (self-loops allowed),
+    deduplicated so the two-hop self-join ``e1.dst = e2.src`` has a
+    deterministic result set of moderate fan-out.
+    """
+    rng = random.Random(seed)
+    schema = Schema.of("id:int", "src:int", "dst:int", key=["id"])
+    table = Table(name, schema)
+    seen: set[tuple[int, int]] = set()
+    row_id = 0
+    attempts = 0
+    while row_id < edges and attempts < edges * 20:
+        attempts += 1
+        pair = (rng.randrange(nodes), rng.randrange(nodes))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        table.insert((row_id, pair[0], pair[1]))
+        row_id += 1
     return table
 
 

@@ -65,3 +65,24 @@ def test_multi_command_private_mode(capsys):
     assert exit_code == 0
     assert "[multi/private-stems] 2 queries" in captured
     assert "Shared vs private" not in captured
+
+
+def test_gauntlet_command_smoke_with_json(capsys, tmp_path):
+    out_path = tmp_path / "gauntlet.json"
+    exit_code = main([
+        "gauntlet", "--scenario", "burst", "--smoke", "--json", str(out_path),
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Adversarial gauntlet (smoke)" in captured
+    assert "[OK ] burst" in captured
+    import json
+
+    payload = json.loads(out_path.read_text())["gauntlet"]
+    assert payload["all_correct"] is True
+    assert list(payload["scenarios"]) == ["burst"]
+
+
+def test_gauntlet_command_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["gauntlet", "--scenario", "nonsense"])
