@@ -112,6 +112,7 @@ def _run_churn(args: argparse.Namespace) -> None:
         workload.catalog,
         shared_stems=not args.private_stems,
         batch_size=args.batch_size,
+        columnar=False if args.row_plane else None,
         stem_eviction=args.eviction,
         stem_max_size=args.window if args.eviction in ("count", "reference-window")
         else None,
@@ -144,11 +145,13 @@ def _run_multi(args: argparse.Namespace) -> None:
         rows=args.rows,
         policy=args.policy,
     )
+    columnar = False if args.row_plane else None
     result = run_multi(
         workload.admissions,
         workload.catalog,
         shared_stems=not args.private_stems,
         batch_size=args.batch_size,
+        columnar=columnar,
     )
     print(result.summary())
     if not args.private_stems and not args.no_baseline:
@@ -158,6 +161,7 @@ def _run_multi(args: argparse.Namespace) -> None:
             workload.catalog,
             shared_stems=False,
             batch_size=args.batch_size,
+            columnar=columnar,
         )
         shared_inserts = result.stem_totals["insertions"]
         private_inserts = baseline.stem_totals["insertions"]
@@ -190,6 +194,7 @@ def _run_query(args: argparse.Namespace) -> None:
         engine=args.engine,
         policy=args.policy,
         batch_size=args.batch_size,
+        columnar=False if args.row_plane else None,
     )
     print(result.summary())
     if result.completion_time:
@@ -225,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--show-rows", type=int, default=0,
                               help="print the first N result rows")
     query_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
+    row_plane_help = (
+        "force the row-at-a-time data plane (disables the columnar "
+        "mirror/kernels; default is REPRO_COLUMNAR_BACKEND or auto-detect)"
+    )
+    query_parser.add_argument("--row-plane", action="store_true", help=row_plane_help)
     multi_parser = subparsers.add_parser(
         "multi",
         help="run N staggered queries concurrently over shared SteMs (§2.1.4)",
@@ -264,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "for time-window)")
     multi_parser.add_argument("--seed", type=int, default=0,
                               help="churn: workload RNG seed")
+    multi_parser.add_argument("--row-plane", action="store_true", help=row_plane_help)
     gauntlet_parser = subparsers.add_parser(
         "gauntlet",
         help="run the adversarial workload gauntlet (hostile generators, "

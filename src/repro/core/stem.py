@@ -33,7 +33,9 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.errors import ExecutionError
 from repro.query.expressions import ColumnRef
 from repro.query.predicates import Comparison, Predicate
+from repro.query import probeplan as _probeplan
 from repro.query.probeplan import ProbePlan
+from repro.storage.columns import ColumnStore, columnar_enabled
 from repro.storage.indexes import RowIndex, build_index
 from repro.storage.row import Row
 from repro.storage.schema import Schema
@@ -229,6 +231,11 @@ class SteM:
             eviction (the historical sliding-window behaviour).
         eviction: optional :class:`EvictionPolicy` (or policy name resolved
             through :func:`make_eviction_policy`) bounding the stored state.
+        columnar: maintain the columnar mirror
+            (:class:`~repro.storage.columns.ColumnStore`) beside the row
+            store and serve compiled probes through the vectorized path.
+            None (the default) follows the process-wide
+            ``REPRO_COLUMNAR_BACKEND`` setting.
         name: module name used in routing traces.
     """
 
@@ -240,6 +247,7 @@ class SteM:
         index_kind: str = "hash",
         max_size: int | None = None,
         eviction: EvictionPolicy | str | None = None,
+        columnar: bool | None = None,
         name: str | None = None,
     ):
         self.table = table
@@ -247,6 +255,13 @@ class SteM:
         self.join_columns = tuple(join_columns)
         self.index_kind = index_kind
         self.max_size = max_size
+        #: Columnar mirror (created lazily on the first build).  The flag
+        #: must exist before :meth:`set_eviction` runs: reference-tracking
+        #: policies reorder the row store, which the slot-aligned mirror
+        #: cannot follow, so installing one switches the SteM to the row
+        #: plane.
+        self.columnar = columnar_enabled() if columnar is None else bool(columnar)
+        self._col: ColumnStore | None = None
         self.set_eviction(make_eviction_policy(eviction, max_size=max_size))
         self.name = name or f"stem:{table}"
         # Primary storage: insertion-ordered mapping row -> build timestamp.
@@ -296,6 +311,12 @@ class SteM:
         self._reference_hook = (
             policy if (policy is not None and policy.tracks_references) else None
         )
+        if self._reference_hook is not None:
+            # LRU reorders the row store on matches; the slot-aligned
+            # columnar mirror cannot follow, so this SteM stays on the
+            # row plane (the byte-identity oracle order is the row store's).
+            self.columnar = False
+            self._col = None
 
     # -- sharing ----------------------------------------------------------------
 
@@ -331,6 +352,8 @@ class SteM:
             self.index_epoch += 1
             if column not in self.join_columns:
                 self.join_columns = self.join_columns + (column,)
+            if self._col is not None:
+                self._col.add_posting_column(column)
 
     def drop_join_column(self, column: str) -> bool:
         """Drop the secondary index on ``column`` (query retirement).
@@ -344,6 +367,8 @@ class SteM:
         del self._indexes[column]
         self.index_epoch += 1
         self.join_columns = tuple(c for c in self.join_columns if c != column)
+        if self._col is not None:
+            self._col.drop_posting_column(column)
         return True
 
     # -- build ------------------------------------------------------------------
@@ -369,6 +394,13 @@ class SteM:
             index.insert(row)
         if self._row_schema is None:
             self._row_schema = row.schema
+        if self.columnar:
+            store = self._col
+            if store is None:
+                store = self._col = ColumnStore(
+                    row.schema, indexed_columns=tuple(self._indexes)
+                )
+            store.append(row, timestamp)
         if self._min_timestamp is None or timestamp < self._min_timestamp:
             self._min_timestamp = timestamp
         if self._max_timestamp is None or timestamp > self._max_timestamp:
@@ -511,6 +543,10 @@ class SteM:
             raise ExecutionError(
                 f"alias {target_alias!r} is not served by {self.name}"
             )
+        if self._col is not None and self._reference_hook is None:
+            return self._probe_columnar(
+                probe, plan, enforce_timestamp, update_last_match
+            )
         self.stats["probes"] += 1
         outcome = ProbeOutcome()
 
@@ -613,6 +649,135 @@ class SteM:
             for item in probes
         ]
 
+    def _probe_columnar(
+        self,
+        probe: QTuple,
+        plan: ProbePlan,
+        enforce_timestamp: bool,
+        update_last_match: bool,
+    ) -> ProbeOutcome:
+        """:meth:`probe_with_plan` on the columnar mirror.
+
+        The vectorized plane: candidate slots come from the mirror's
+        posting lists (slot-wise images of the secondary-index buckets, so
+        the smallest-bucket choice and the candidate order are the row
+        plane's), the plan's comparison/IN checks run as whole-batch
+        kernels producing a selection vector, and :class:`Row` objects are
+        touched only at the eddy boundary — generic-fallback predicates
+        and the surviving matches handed to ``probe.extended``.  Byte
+        identical to the row path: same results in the same order, same
+        ``candidates_examined``/``suppressed_by_timestamp`` accounting,
+        same coverage verdict.
+        """
+        store = self._col
+        assert store is not None
+        target_alias = plan.target_alias
+        self.stats["probes"] += 1
+        outcome = ProbeOutcome()
+
+        components = probe.components
+        binding_values = plan.bind_values(components)
+
+        slots: Sequence[int] | range | None = None
+        chosen_column: str | None = None
+        chosen_value: Any = None
+        if binding_values is not None:
+            if plan.indexes_stale(self):
+                plan.resolve_indexes(self)
+            best = None
+            for position, _index in plan.indexed_bindings:
+                column = plan.binding_columns[position]
+                value = binding_values[position]
+                stats = store.column_stats.get(column)
+                if stats is not None and stats.excludes(value):
+                    # Provably-empty binding: its (empty) bucket is the
+                    # minimum the row plane would select.
+                    best = ()
+                    chosen_column = None
+                    break
+                bucket = store.posting_slots(column, value)
+                if bucket is None:
+                    # Mirror lacks the posting list (should not happen):
+                    # fall back to the row plane rather than diverge.
+                    self.stats["probes"] -= 1
+                    mirror, self._col = self._col, None
+                    try:
+                        return self.probe_with_plan(
+                            probe, plan, enforce_timestamp, update_last_match
+                        )
+                    finally:
+                        self._col = mirror
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    chosen_column = column
+                    chosen_value = value
+            if best is not None:
+                slots = best
+        if slots is None:
+            slots = store.live_slots()
+
+        examined = len(slots)
+        floor = probe.last_match_ts.get(self.name, float("-inf"))
+        if examined and floor != float("-inf"):
+            ts = store.ts
+            slots = [slot for slot in slots if ts[slot] > floor]
+            chosen_column = None  # filtered list: not the cached bucket
+
+        checks = plan.cmp_checks
+        if checks is None and self._row_schema is not None:
+            plan.finish(self._row_schema)
+            checks = plan.cmp_checks
+        cmp_bound = plan.bind_checks(components) if checks else ()
+        in_bound = plan.bind_in_checks(components) if plan.in_checks else ()
+
+        survivors: Iterable[int] = slots
+        if (cmp_bound or in_bound) and slots:
+            index_array = None
+            if (
+                store.backend == "numpy"
+                and len(slots) >= _probeplan.KERNEL_MIN_CANDIDATES
+                and not (isinstance(slots, range) and len(slots) == len(store.rows))
+            ):
+                index_array = store.np_index_for(slots, chosen_column, chosen_value)
+            survivors = plan.vector().select(
+                store, slots, index_array, cmp_bound, in_bound
+            )
+
+        generic = plan.generic_predicates
+        if generic and survivors:
+            row_refs = store.rows
+            kept = []
+            for slot in survivors:
+                merged = {**components, target_alias: row_refs[slot]}
+                if all(predicate.evaluate(merged) for predicate in generic):
+                    kept.append(slot)
+            survivors = kept
+
+        results = outcome.results
+        done_ids = plan.done_ids
+        suppressed = 0
+        ts = store.ts
+        row_refs = store.rows
+        probe_timestamp = probe.timestamp
+        extended = probe.extended
+        for slot in survivors:
+            row_timestamp = ts[slot]
+            if enforce_timestamp and not probe_timestamp > row_timestamp:
+                suppressed += 1
+                continue
+            results.append(
+                extended(target_alias, row_refs[slot], row_timestamp, extra_done=done_ids)
+            )
+        outcome.candidates_examined = examined
+        outcome.suppressed_by_timestamp = suppressed
+        self.stats["matches"] += len(results)
+        outcome.all_matches_known = self.covers(plan.bindings_mapping(binding_values))
+        if update_last_match:
+            max_timestamp = self.max_timestamp
+            if max_timestamp is not None:
+                probe.last_match_ts[self.name] = max(floor, max_timestamp)
+        return outcome
+
     def _plan_candidates(self, plan: ProbePlan, binding_values) -> Iterable[Row]:
         """Candidate rows for a compiled probe (most selective index wins).
 
@@ -622,8 +787,20 @@ class SteM:
         if binding_values is not None:
             if plan.indexes_stale(self):
                 plan.resolve_indexes(self)
+            mirror = self._col
             best = None
             for position, index in plan.indexed_bindings:
+                if mirror is not None:
+                    # Incremental min/max feed: a binding value provably
+                    # outside the column's observed range has an empty
+                    # bucket — the minimum — so selection can stop here.
+                    stats = mirror.column_stats.get(
+                        plan.binding_columns[position]
+                    )
+                    if stats is not None and stats.excludes(
+                        binding_values[position]
+                    ):
+                        return ()
                 bucket = index.lookup_readonly((binding_values[position],))
                 if best is None or len(bucket) < len(best):
                     best = bucket
@@ -668,11 +845,16 @@ class SteM:
         Buckets come from the read-only lookup path and are only iterated.
         """
         if bindings:
+            mirror = self._col
             best = None
             for column, value in bindings.items():
                 index = self._indexes.get(column)
                 if index is None:
                     continue
+                if mirror is not None:
+                    stats = mirror.column_stats.get(column)
+                    if stats is not None and stats.excludes(value):
+                        return ()
                 bucket = index.lookup_readonly((value,))
                 if best is None or len(bucket) < len(best):
                     best = bucket
@@ -731,6 +913,8 @@ class SteM:
         timestamp = self._rows.pop(row)
         for index in self._indexes.values():
             index.remove(row)
+        if self._col is not None:
+            self._col.evict(row)
         if not self._rows:
             self._min_timestamp = self._max_timestamp = None
             self._timestamps_stale = False

@@ -100,6 +100,8 @@ class SteMRegistry:
         eviction: default eviction-policy name applied to every table that
             has no :meth:`configure_table` override.
         window: build-timestamp window width for ``eviction="time-window"``.
+        columnar: maintain the columnar mirror on every shared SteM (None
+            follows the ``REPRO_COLUMNAR_BACKEND`` environment setting).
     """
 
     def __init__(
@@ -108,9 +110,11 @@ class SteMRegistry:
         max_size: int | None = None,
         eviction: str | None = None,
         window: float | None = None,
+        columnar: bool | None = None,
     ):
         self.index_kind = index_kind
         self.max_size = max_size
+        self.columnar = columnar
         self._default_eviction = EvictionConfig(eviction, max_size, window)
         self._eviction_overrides: dict[str, EvictionConfig] = {}
         self._stems: dict[str, SteM] = {}
@@ -192,6 +196,7 @@ class SteMRegistry:
                 index_kind=self.index_kind,
                 max_size=config.max_size,
                 eviction=config.build_policy(),
+                columnar=self.columnar,
                 name=f"stem:{table}",
             )
             self._stems[table] = stem

@@ -31,6 +31,7 @@ def execute(
     strict_constraints: bool = False,
     batch_size: int = 1,
     compiled_probes: bool | None = None,
+    columnar: bool | None = None,
     trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Execute a select-project-join query and return its results and metrics.
@@ -56,6 +57,9 @@ def execute(
             the interpreted predicate walk (``stems`` engine only; both
             paths produce byte-identical results and traces).  None
             resolves from the ``REPRO_INTERPRETED_PROBES`` env var.
+        columnar: serve compiled SteM probes from the columnar plane's
+            vectorized kernels (``stems`` engine only; byte-identical to
+            the row plane).  None resolves from ``REPRO_COLUMNAR_BACKEND``.
         trace: optional :class:`~repro.sim.tracing.TraceLog` recording the
             adaptive engines' route/output/retire events.  Identical calls
             produce identical traces, tuple ids included.  The ``static``
@@ -75,6 +79,7 @@ def execute(
             strict_constraints=strict_constraints,
             batch_size=batch_size,
             compiled_probes=compiled_probes,
+            columnar=columnar,
             trace=trace,
         )
     if engine == "eddy-joins":

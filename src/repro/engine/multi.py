@@ -200,6 +200,11 @@ class MultiQueryEngine:
             the interpreted predicate walk.  Each query's modules keep
             their own plan cache over their own layout, so shared SteMs
             never mix plans across queries.
+        columnar: maintain the columnar mirror on every SteM — shared and
+            private alike — and serve compiled probes through the
+            vectorized plane (None follows ``REPRO_COLUMNAR_BACKEND``).
+            Both planes produce byte-identical per-query results and
+            traces.
         continuous: allow starting with zero admissions (continuous-query
             service mode; queries arrive later via :meth:`admit` or a
             churn schedule).
@@ -218,6 +223,7 @@ class MultiQueryEngine:
         stem_window: float | None = None,
         batch_size: int = 1,
         compiled_probes: bool | None = None,
+        columnar: bool | None = None,
         continuous: bool = False,
     ):
         self.catalog = catalog
@@ -230,6 +236,7 @@ class MultiQueryEngine:
         self.stem_window = stem_window
         self.batch_size = batch_size
         self.compiled_probes = compiled_probes
+        self.columnar = columnar
         self.simulator = Simulator()
         self.registry: SteMRegistry | None = (
             SteMRegistry(
@@ -237,6 +244,7 @@ class MultiQueryEngine:
                 max_size=stem_max_size,
                 eviction=stem_eviction,
                 window=stem_window,
+                columnar=columnar,
             )
             if shared_stems
             else None
@@ -369,6 +377,7 @@ class MultiQueryEngine:
             eviction=self.stem_eviction,
             window=self.stem_window,
             compiled_probes=self.compiled_probes,
+            columnar=self.columnar,
         )
 
     # -- retirement --------------------------------------------------------------
@@ -583,6 +592,7 @@ def run_multi(
     stem_index_kind: str = "hash",
     stem_max_size: int | None = None,
     compiled_probes: bool | None = None,
+    columnar: bool | None = None,
 ) -> MultiQueryResult:
     """Convenience wrapper: build a :class:`MultiQueryEngine` and run it."""
     engine = MultiQueryEngine(
@@ -595,6 +605,7 @@ def run_multi(
         stem_index_kind=stem_index_kind,
         stem_max_size=stem_max_size,
         compiled_probes=compiled_probes,
+        columnar=columnar,
     )
     return engine.run(until=until)
 
@@ -612,6 +623,7 @@ def run_churn(
     stem_eviction: str | None = None,
     stem_window: float | None = None,
     compiled_probes: bool | None = None,
+    columnar: bool | None = None,
 ) -> MultiQueryResult:
     """Run a churn schedule (dynamic admissions and retirements) to the end.
 
@@ -632,6 +644,7 @@ def run_churn(
         stem_eviction=stem_eviction,
         stem_window=stem_window,
         compiled_probes=compiled_probes,
+        columnar=columnar,
         continuous=True,
     )
     engine.schedule_churn(events)

@@ -122,6 +122,7 @@ def make_private_stem_module(
     eviction: str | None = None,
     window: float | None = None,
     compiled_probes: bool | None = None,
+    columnar: bool | None = None,
 ) -> SteMModule:
     """A private SteM (and its module) for one FROM-clause entry.
 
@@ -141,6 +142,7 @@ def make_private_stem_module(
         index_kind=index_kind,
         max_size=max_size,
         eviction=make_eviction_policy(eviction, max_size=max_size, window=window),
+        columnar=columnar,
         name=f"stem:{ref.alias}",
     )
     return SteMModule(
@@ -198,6 +200,11 @@ class StemsEngine:
         stem_max_size: optional SteM size bound (sliding-window eviction).
         batch_size: ready tuples drained per eddy routing event (1 =
             per-tuple routing; >1 enables signature-batched routing).
+        columnar: serve compiled probes from the columnar mirror's
+            vectorized kernels (None, the default, follows the
+            ``REPRO_COLUMNAR_BACKEND`` environment setting; ``off``
+            disables the mirror and keeps every probe on the row plane).
+            Both planes produce byte-identical results and traces.
         compiled_probes: route SteM probes through compiled
             :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
             the interpreted predicate walk; None resolves from the
@@ -220,6 +227,7 @@ class StemsEngine:
         preferences: Sequence = (),
         batch_size: int = 1,
         compiled_probes: bool | None = None,
+        columnar: bool | None = None,
         trace: TraceLog | None = None,
     ):
         self.query = parse_query(query) if isinstance(query, str) else query
@@ -230,6 +238,7 @@ class StemsEngine:
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
         self.compiled_probes = compiled_probes
+        self.columnar = columnar
 
         self.simulator = Simulator()
         self.eddy = Eddy(
@@ -260,6 +269,7 @@ class StemsEngine:
             index_kind=self.stem_index_kind,
             max_size=self.stem_max_size,
             compiled_probes=self.compiled_probes,
+            columnar=self.columnar,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -291,6 +301,7 @@ def run_stems(
     preferences: Sequence = (),
     batch_size: int = 1,
     compiled_probes: bool | None = None,
+    columnar: bool | None = None,
     trace: TraceLog | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`StemsEngine` and run it."""
@@ -303,6 +314,7 @@ def run_stems(
         preferences=preferences,
         batch_size=batch_size,
         compiled_probes=compiled_probes,
+        columnar=columnar,
         trace=trace,
     )
     return engine.run(until=until)

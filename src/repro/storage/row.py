@@ -54,14 +54,24 @@ class Row:
     # -- value access ---------------------------------------------------------
 
     def __getitem__(self, column: str) -> Any:
-        """Value of the named column."""
-        return self.values[self.schema.position(column)]
+        """Value of the named column, raising :class:`UnknownColumnError`
+        for any name the schema does not hold — including unhashable ones."""
+        try:
+            position = self.schema.position(column)
+        except TypeError:
+            raise UnknownColumnError(repr(column), self.schema.names) from None
+        return self.values[position]
 
     def get(self, column: str, default: Any = None) -> Any:
-        """Value of the named column, or ``default`` if the column is absent."""
-        if column not in self.schema:
+        """Value of the named column, or ``default`` if the column is absent.
+
+        Mirrors ``dict.get``: never raises for a bad name — unknown and
+        unhashable column names both yield ``default``.
+        """
+        try:
+            return self.values[self.schema.position(column)]
+        except (UnknownColumnError, TypeError):
             return default
-        return self[column]
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.values)

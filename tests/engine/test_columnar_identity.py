@@ -1,0 +1,158 @@
+"""Engine-level byte identity: the columnar data plane vs the row plane.
+
+The acceptance bar for the columnar plane: with the mirror and vector
+kernels enabled, every engine (single-query stems, multi-query shared
+SteMs, continuous-query churn) must produce byte-identical results *and
+traces* to the row-plane oracle across routing policies and batch sizes,
+on every kernel backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.api import execute
+from repro.engine.multi import ChurnEvent, QueryAdmission, run_churn, run_multi
+from repro.sim.tracing import TraceLog
+from repro.storage.catalog import Catalog
+from repro.storage.columns import numpy_available
+from repro.storage.datagen import make_source_r, make_source_t
+
+SQL = "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 6"
+SECOND_SQL = "SELECT * FROM R, T WHERE R.key = T.key"
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_source_r(40, 10, seed=7))
+    catalog.add_table(make_source_t(40, seed=8))
+    catalog.add_scan("R", rate=100.0)
+    catalog.add_scan("T", rate=80.0)
+    catalog.add_index("T", ["key"], latency=0.05)
+    return catalog
+
+
+def records(trace: TraceLog) -> list[tuple]:
+    return [(record.time, record.kind, record.detail) for record in trace]
+
+
+class TestSingleEngineIdentity:
+    @pytest.mark.parametrize("policy", ["naive", "benefit", "lottery"])
+    @pytest.mark.parametrize("batch_size", [1, 8], ids=lambda b: f"batch={b}")
+    def test_identical_results_and_traces(self, policy, batch_size):
+        columnar_trace, row_trace = TraceLog(), TraceLog()
+        columnar = execute(
+            SQL, build_catalog(), engine="stems", policy=policy,
+            batch_size=batch_size, columnar=True, trace=columnar_trace,
+        )
+        row_plane = execute(
+            SQL, build_catalog(), engine="stems", policy=policy,
+            batch_size=batch_size, columnar=False, trace=row_trace,
+        )
+        assert len(columnar.tuples) > 0
+        assert [t.identity() for t in columnar.tuples] == [
+            t.identity() for t in row_plane.tuples
+        ]
+        assert records(columnar_trace) == records(row_trace)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_env_legs_are_identical(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BACKEND", backend)
+        columnar_trace, row_trace = TraceLog(), TraceLog()
+        columnar = execute(
+            SQL, build_catalog(), policy="benefit", batch_size=4,
+            trace=columnar_trace,  # plane resolved from the environment
+        )
+        row_plane = execute(
+            SQL, build_catalog(), policy="benefit", batch_size=4,
+            columnar=False, trace=row_trace,
+        )
+        assert [t.identity() for t in columnar.tuples] == [
+            t.identity() for t in row_plane.tuples
+        ]
+        assert records(columnar_trace) == records(row_trace)
+
+    def test_off_env_leg_runs_the_row_plane(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BACKEND", "off")
+        auto_trace, row_trace = TraceLog(), TraceLog()
+        auto = execute(SQL, build_catalog(), policy="naive", trace=auto_trace)
+        row_plane = execute(
+            SQL, build_catalog(), policy="naive", columnar=False,
+            trace=row_trace,
+        )
+        assert [t.identity() for t in auto.tuples] == [
+            t.identity() for t in row_plane.tuples
+        ]
+        assert records(auto_trace) == records(row_trace)
+
+
+class TestMultiEngineIdentity:
+    @pytest.mark.parametrize("batch_size", [1, 8], ids=lambda b: f"batch={b}")
+    @pytest.mark.parametrize("shared", [True, False],
+                             ids=["shared-stems", "private-stems"])
+    def test_identical_results_and_traces(self, batch_size, shared):
+        def admissions():
+            return [
+                QueryAdmission(SQL, query_id="a", policy="naive",
+                               trace=TraceLog()),
+                QueryAdmission(SECOND_SQL, query_id="b", policy="lottery",
+                               arrival_time=0.2, trace=TraceLog()),
+                QueryAdmission(SECOND_SQL, query_id="c", policy="benefit",
+                               arrival_time=0.4, trace=TraceLog()),
+            ]
+
+        columnar_admissions, row_admissions = admissions(), admissions()
+        columnar = run_multi(
+            columnar_admissions, build_catalog(), shared_stems=shared,
+            batch_size=batch_size, columnar=True,
+        )
+        row_plane = run_multi(
+            row_admissions, build_catalog(), shared_stems=shared,
+            batch_size=batch_size, columnar=False,
+        )
+        for query_id in ("a", "b", "c"):
+            assert [t.identity() for t in columnar[query_id].tuples] == [
+                t.identity() for t in row_plane[query_id].tuples
+            ]
+        for one, other in zip(columnar_admissions, row_admissions):
+            assert records(one.trace) == records(other.trace)
+
+
+class TestChurnEngineIdentity:
+    @pytest.mark.parametrize("policy", ["naive", "benefit", "lottery"])
+    def test_identical_results_and_traces(self, policy):
+        def events(traces):
+            return [
+                ChurnEvent(
+                    time=0.0, action="admit",
+                    admission=QueryAdmission(
+                        SQL, query_id="bg", policy=policy, trace=traces[0],
+                    ),
+                ),
+                ChurnEvent(
+                    time=1.3, action="admit",
+                    admission=QueryAdmission(
+                        SECOND_SQL, query_id="late", policy=policy,
+                        trace=traces[1],
+                    ),
+                ),
+                ChurnEvent(time=30.0, action="retire", query_id="bg"),
+            ]
+
+        columnar_traces = [TraceLog(), TraceLog()]
+        row_traces = [TraceLog(), TraceLog()]
+        columnar = run_churn(
+            events(columnar_traces), build_catalog(), batch_size=4,
+            columnar=True, stem_eviction="count", stem_max_size=64,
+        )
+        row_plane = run_churn(
+            events(row_traces), build_catalog(), batch_size=4,
+            columnar=False, stem_eviction="count", stem_max_size=64,
+        )
+        for query_id in ("bg", "late"):
+            assert columnar[query_id].identities() == row_plane[query_id].identities()
+        for one, other in zip(columnar_traces, row_traces):
+            assert records(one) == records(other)
+        assert columnar.summary() == row_plane.summary()

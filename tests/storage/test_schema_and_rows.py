@@ -113,6 +113,19 @@ class TestRow:
         assert row["a"] == 10
         assert row.get("missing", -1) == -1
 
+    def test_getitem_raises_get_defaults(self):
+        # The contract: __getitem__ raises UnknownColumnError for *any* bad
+        # name; get never raises, it returns the default.
+        row = Row("R", self.schema, (1, 10))
+        with pytest.raises(UnknownColumnError):
+            row["missing"]
+        with pytest.raises(UnknownColumnError):
+            row[["a"]]  # unhashable name maps to the same error, not TypeError
+        assert row.get("missing") is None
+        assert row.get(["a"], "fallback") == "fallback"
+        assert row.get(("key", "a"), 0) == 0
+        assert row.get("key") == 1  # present columns still resolve
+
     def test_wrong_arity_rejected(self):
         with pytest.raises(SchemaError):
             Row("R", self.schema, (1, 2, 3))
