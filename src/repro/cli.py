@@ -113,6 +113,7 @@ def _run_churn(args: argparse.Namespace) -> None:
         shared_stems=not args.private_stems,
         batch_size=args.batch_size,
         columnar=False if args.row_plane else None,
+        shards=args.shards,
         stem_eviction=args.eviction,
         stem_max_size=args.window if args.eviction in ("count", "reference-window")
         else None,
@@ -152,6 +153,7 @@ def _run_multi(args: argparse.Namespace) -> None:
         shared_stems=not args.private_stems,
         batch_size=args.batch_size,
         columnar=columnar,
+        shards=args.shards,
     )
     print(result.summary())
     if not args.private_stems and not args.no_baseline:
@@ -162,6 +164,7 @@ def _run_multi(args: argparse.Namespace) -> None:
             shared_stems=False,
             batch_size=args.batch_size,
             columnar=columnar,
+            shards=args.shards,
         )
         shared_inserts = result.stem_totals["insertions"]
         private_inserts = baseline.stem_totals["insertions"]
@@ -195,6 +198,7 @@ def _run_query(args: argparse.Namespace) -> None:
         policy=args.policy,
         batch_size=args.batch_size,
         columnar=False if args.row_plane else None,
+        shards=args.shards,
     )
     print(result.summary())
     if result.completion_time:
@@ -234,7 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
         "force the row-at-a-time data plane (disables the columnar "
         "mirror/kernels; default is REPRO_COLUMNAR_BACKEND or auto-detect)"
     )
+    shards_help = (
+        "hash-partition every SteM across N shard SteMs with parallel "
+        "probe collection (results and traces stay byte-identical; "
+        "default is REPRO_SHARDS or 1)"
+    )
     query_parser.add_argument("--row-plane", action="store_true", help=row_plane_help)
+    query_parser.add_argument("--shards", type=int, default=None, help=shards_help)
     multi_parser = subparsers.add_parser(
         "multi",
         help="run N staggered queries concurrently over shared SteMs (§2.1.4)",
@@ -275,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     multi_parser.add_argument("--seed", type=int, default=0,
                               help="churn: workload RNG seed")
     multi_parser.add_argument("--row-plane", action="store_true", help=row_plane_help)
+    multi_parser.add_argument("--shards", type=int, default=None, help=shards_help)
     gauntlet_parser = subparsers.add_parser(
         "gauntlet",
         help="run the adversarial workload gauntlet (hostile generators, "

@@ -215,6 +215,35 @@ class ProbeOutcome:
     suppressed_by_timestamp: int = 0
 
 
+def derive_probe_bindings(
+    probe: QTuple,
+    target_alias: str,
+    predicates: Sequence[Predicate],
+) -> dict[str, Any] | None:
+    """Equality bindings (target column -> value) implied by a probe.
+
+    A pure function of the probe and predicate list (it touches no SteM
+    state), shared by the interpreted probe path and the partitioned
+    wrapper's shard router.  Returns None when no equality binding can be
+    derived, in which case candidate enumeration falls back to a full scan.
+    """
+    bindings: dict[str, Any] = {}
+    for predicate in predicates:
+        if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
+            continue
+        target_ref = predicate.column_for(target_alias)
+        if target_ref is None or target_ref.alias != target_alias:
+            continue
+        other = predicate.other_side(target_alias)
+        if isinstance(other, ColumnRef):
+            if other.alias not in probe.components:
+                continue
+            bindings[target_ref.column] = probe.value(other.alias, other.column)
+        else:
+            bindings[target_ref.column] = other.evaluate(probe.components)
+    return bindings or None
+
+
 class SteM:
     """A State Module over one base table.
 
@@ -262,7 +291,10 @@ class SteM:
         #: plane.
         self.columnar = columnar_enabled() if columnar is None else bool(columnar)
         self._col: ColumnStore | None = None
-        self.set_eviction(make_eviction_policy(eviction, max_size=max_size))
+        #: Why the columnar mirror is unavailable (None while it is live).
+        #: Also surfaced in :attr:`stats` so benchmark harnesses can detect
+        #: a silently row-plane SteM instead of measuring the wrong plane.
+        self.columnar_disabled_reason: str | None = None
         self.name = name or f"stem:{table}"
         # Primary storage: insertion-ordered mapping row -> build timestamp.
         # Row equality is over (table, values), giving set semantics for free.
@@ -292,8 +324,10 @@ class SteM:
         #: window, so a re-delivered row re-enters the dataflow instead of
         #: being mistaken for a still-stored duplicate.
         self._evict_listeners: list = []
-        #: Operational statistics.
-        self.stats: dict[str, int] = {
+        #: Operational statistics.  Values are ints except the optional
+        #: ``columnar_disabled_reason`` note (folding consumers must skip
+        #: non-int entries).
+        self.stats: dict[str, Any] = {
             "builds": 0,
             "duplicates": 0,
             "probes": 0,
@@ -301,6 +335,7 @@ class SteM:
             "evictions": 0,
             "eot_builds": 0,
         }
+        self.set_eviction(make_eviction_policy(eviction, max_size=max_size))
 
     def set_eviction(self, policy: EvictionPolicy | None) -> None:
         """Install (or swap) the eviction policy, rewiring the probe-loop
@@ -315,6 +350,17 @@ class SteM:
             # LRU reorders the row store on matches; the slot-aligned
             # columnar mirror cannot follow, so this SteM stays on the
             # row plane (the byte-identity oracle order is the row store's).
+            if self.columnar or self._col is not None:
+                # The mirror was on and is being turned off: make the
+                # downgrade loud, or benchmark runs would unknowingly
+                # measure the row plane.
+                reason = (
+                    f"{policy.name} eviction tracks references and reorders "
+                    "the row store; the slot-aligned columnar mirror cannot "
+                    "follow"
+                )
+                self.columnar_disabled_reason = reason
+                self.stats["columnar_disabled_reason"] = reason
             self.columnar = False
             self._col = None
 
@@ -649,6 +695,215 @@ class SteM:
             for item in probes
         ]
 
+    # -- shard collection ---------------------------------------------------------
+    #
+    # The raw probe paths behind ``repro.core.partition.PartitionedSteM``:
+    # each shard returns its predicate-passing ``(row, build_timestamp)``
+    # matches (timestamp-ascending — insertion order) plus the candidates
+    # examined, and the wrapper merges, applies the TimeStamp tail, and
+    # extends on the calling thread so tuple-id allocation stays
+    # deterministic.  No stats are touched (the wrapper accounts probes and
+    # matches once per logical probe) and the compiled variants never use
+    # the plan's ``resolve_indexes`` memo — it is keyed to a single SteM and
+    # N shards would thrash it on every call.  These methods must be safe to
+    # run off-thread against a finished, warmed plan: they only read plan
+    # state and this shard's own stores.
+
+    def collect_probe_matches(
+        self,
+        probe: QTuple,
+        target_alias: str,
+        predicates: Sequence[Predicate],
+        floor: float = float("-inf"),
+        bindings: Mapping[str, Any] | None = None,
+    ) -> tuple[list[tuple[Row, float]], int]:
+        """Interpreted-path shard collection (see the section note above).
+
+        ``bindings`` is the wrapper-derived equality mapping (so N shards
+        don't re-derive it); pass None to derive locally.
+        """
+        if bindings is None:
+            bindings = derive_probe_bindings(probe, target_alias, predicates)
+        matches: list[tuple[Row, float]] = []
+        examined = 0
+        rows = self._rows
+        for row in self._candidate_rows(bindings):
+            examined += 1
+            row_timestamp = rows[row]
+            if row_timestamp <= floor:
+                continue
+            merged = dict(probe.components)
+            merged[target_alias] = row
+            if not all(predicate.evaluate(merged) for predicate in predicates):
+                continue
+            matches.append((row, row_timestamp))
+        return matches, examined
+
+    def collect_plan_matches(
+        self,
+        probe: QTuple,
+        plan: ProbePlan,
+        floor: float = float("-inf"),
+    ) -> tuple[list[tuple[Row, float]], int]:
+        """Compiled-path shard collection (see the section note above)."""
+        if plan.cmp_checks is None and self._row_schema is not None:
+            plan.finish(self._row_schema)
+        if self._col is not None and self._reference_hook is None:
+            return self._collect_columnar(probe, plan, floor)
+        return self._collect_rows(probe, plan, floor)
+
+    def _collect_rows(
+        self, probe: QTuple, plan: ProbePlan, floor: float
+    ) -> tuple[list[tuple[Row, float]], int]:
+        """Row-plane collection: :meth:`probe_with_plan`'s candidate loop
+        with inline smallest-bucket index selection."""
+        components = probe.components
+        binding_values = plan.bind_values(components)
+        candidates = self._inline_plan_candidates(plan, binding_values)
+        rows = self._rows
+        cmp_bound = plan.bind_checks(components) if plan.cmp_checks else ()
+        in_bound = plan.bind_in_checks(components) if plan.in_checks else ()
+        generic = plan.generic_predicates
+        target_alias = plan.target_alias
+        matches: list[tuple[Row, float]] = []
+        examined = 0
+        for row in candidates:
+            examined += 1
+            row_timestamp = rows[row]
+            if row_timestamp <= floor:
+                continue
+            values = row.values
+            passed = True
+            for op, l_pos, l_val, r_pos, r_val in cmp_bound:
+                left = values[l_pos] if l_pos >= 0 else l_val
+                right = values[r_pos] if r_pos >= 0 else r_val
+                if left is None or right is None:
+                    passed = False
+                    break
+                try:
+                    if not op(left, right):
+                        passed = False
+                        break
+                except TypeError:
+                    passed = False
+                    break
+            if passed and in_bound:
+                for pos, bound_value, members in in_bound:
+                    if (values[pos] if pos >= 0 else bound_value) not in members:
+                        passed = False
+                        break
+            if passed and generic:
+                merged = {**components, target_alias: row}
+                for predicate in generic:
+                    if not predicate.evaluate(merged):
+                        passed = False
+                        break
+            if not passed:
+                continue
+            matches.append((row, row_timestamp))
+        return matches, examined
+
+    def _inline_plan_candidates(self, plan: ProbePlan, binding_values):
+        """:meth:`_plan_candidates` without the per-stem index memo: same
+        smallest-bucket choice (first-seen wins ties), resolved against the
+        live index table on every call."""
+        if binding_values is not None:
+            mirror = self._col
+            indexes = self._indexes
+            best = None
+            for position, column in enumerate(plan.binding_columns):
+                index = indexes.get(column)
+                if index is None:
+                    continue
+                value = binding_values[position]
+                if mirror is not None:
+                    stats = mirror.column_stats.get(column)
+                    if stats is not None and stats.excludes(value):
+                        return ()
+                bucket = index.lookup_readonly((value,))
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                return best
+        return self._rows
+
+    def _collect_columnar(
+        self, probe: QTuple, plan: ProbePlan, floor: float
+    ) -> tuple[list[tuple[Row, float]], int]:
+        """Columnar collection: :meth:`_probe_columnar` minus the eddy
+        boundary, with inline posting-list selection."""
+        store = self._col
+        assert store is not None
+        components = probe.components
+        binding_values = plan.bind_values(components)
+
+        slots: Sequence[int] | range | None = None
+        chosen_column: str | None = None
+        chosen_value: Any = None
+        if binding_values is not None:
+            indexes = self._indexes
+            best = None
+            for position, column in enumerate(plan.binding_columns):
+                if column not in indexes:
+                    continue
+                value = binding_values[position]
+                stats = store.column_stats.get(column)
+                if stats is not None and stats.excludes(value):
+                    best = ()
+                    chosen_column = None
+                    break
+                bucket = store.posting_slots(column, value)
+                if bucket is None:
+                    # Mirror lacks the posting list (should not happen):
+                    # collect on the row plane rather than diverge.
+                    return self._collect_rows(probe, plan, floor)
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    chosen_column = column
+                    chosen_value = value
+            if best is not None:
+                slots = best
+        if slots is None:
+            slots = store.live_slots()
+
+        examined = len(slots)
+        if examined and floor != float("-inf"):
+            ts = store.ts
+            slots = [slot for slot in slots if ts[slot] > floor]
+            chosen_column = None  # filtered list: not the cached bucket
+
+        cmp_bound = plan.bind_checks(components) if plan.cmp_checks else ()
+        in_bound = plan.bind_in_checks(components) if plan.in_checks else ()
+
+        survivors: Iterable[int] = slots
+        if (cmp_bound or in_bound) and slots:
+            index_array = None
+            if (
+                store.backend == "numpy"
+                and len(slots) >= _probeplan.KERNEL_MIN_CANDIDATES
+                and not (isinstance(slots, range) and len(slots) == len(store.rows))
+            ):
+                index_array = store.np_index_for(slots, chosen_column, chosen_value)
+            survivors = plan.vector().select(
+                store, slots, index_array, cmp_bound, in_bound
+            )
+
+        generic = plan.generic_predicates
+        target_alias = plan.target_alias
+        if generic and survivors:
+            row_refs = store.rows
+            kept = []
+            for slot in survivors:
+                merged = {**components, target_alias: row_refs[slot]}
+                if all(predicate.evaluate(merged) for predicate in generic):
+                    kept.append(slot)
+            survivors = kept
+
+        ts = store.ts
+        row_refs = store.rows
+        matches = [(row_refs[slot], ts[slot]) for slot in survivors]
+        return matches, examined
+
     def _probe_columnar(
         self,
         probe: QTuple,
@@ -819,21 +1074,7 @@ class SteM:
         Returns None when no equality binding can be derived, in which case
         candidate enumeration falls back to a full scan of the SteM.
         """
-        bindings: dict[str, Any] = {}
-        for predicate in predicates:
-            if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
-                continue
-            target_ref = predicate.column_for(target_alias)
-            if target_ref is None or target_ref.alias != target_alias:
-                continue
-            other = predicate.other_side(target_alias)
-            if isinstance(other, ColumnRef):
-                if other.alias not in probe.components:
-                    continue
-                bindings[target_ref.column] = probe.value(other.alias, other.column)
-            else:
-                bindings[target_ref.column] = other.evaluate(probe.components)
-        return bindings or None
+        return derive_probe_bindings(probe, target_alias, predicates)
 
     def _candidate_rows(self, bindings: Mapping[str, Any] | None) -> Iterable[Row]:
         """Rows worth examining for a probe with the given bindings.

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.partition import partitioned_stem
 from repro.core.stem import EvictionPolicy, SteM, make_eviction_policy
 
 
@@ -102,6 +103,11 @@ class SteMRegistry:
         window: build-timestamp window width for ``eviction="time-window"``.
         columnar: maintain the columnar mirror on every shared SteM (None
             follows the ``REPRO_COLUMNAR_BACKEND`` environment setting).
+        shards: hash-partition every shared SteM across this many shard
+            SteMs (:class:`~repro.core.partition.PartitionedSteM`).  None
+            follows the ``REPRO_SHARDS`` environment setting; 1 keeps the
+            plain single-shard SteM.  Tables under reference-window
+            eviction always stay single-shard.
     """
 
     def __init__(
@@ -111,10 +117,12 @@ class SteMRegistry:
         eviction: str | None = None,
         window: float | None = None,
         columnar: bool | None = None,
+        shards: int | None = None,
     ):
         self.index_kind = index_kind
         self.max_size = max_size
         self.columnar = columnar
+        self.shards = shards
         self._default_eviction = EvictionConfig(eviction, max_size, window)
         self._eviction_overrides: dict[str, EvictionConfig] = {}
         self._stems: dict[str, SteM] = {}
@@ -189,15 +197,17 @@ class SteMRegistry:
         config = self.eviction_config(table)
         stem = self._stems.get(table)
         if stem is None:
-            stem = SteM(
+            stem = partitioned_stem(
                 table=table,
                 aliases=(alias,),
                 join_columns=columns,
                 index_kind=self.index_kind,
                 max_size=config.max_size,
                 eviction=config.build_policy(),
+                window=config.window,
                 columnar=self.columnar,
                 name=f"stem:{table}",
+                shards=self.shards,
             )
             self._stems[table] = stem
             self.stats["stems"] += 1
@@ -252,13 +262,16 @@ class SteMRegistry:
             if remaining <= 0:
                 # Last reference: reclaim the whole SteM (rows, indexes,
                 # EOT state).  Its counters fold into the reclaimed totals.
-                self.reclaimed_stats.setdefault(
-                    stem.name, {key: 0 for key in stem.stats}
+                counters = {
+                    key: value
+                    for key, value in stem.stats.items()
+                    if isinstance(value, int)
+                }
+                bucket = self.reclaimed_stats.setdefault(
+                    stem.name, {key: 0 for key in counters}
                 )
-                for key, value in stem.stats.items():
-                    self.reclaimed_stats[stem.name][key] = (
-                        self.reclaimed_stats[stem.name].get(key, 0) + value
-                    )
+                for key, value in counters.items():
+                    bucket[key] = bucket.get(key, 0) + value
                 del self._stems[table]
                 self._table_refs.pop(table, None)
                 self._alias_refs.pop(table, None)

@@ -8,6 +8,7 @@ from repro.errors import ExecutionError
 from repro.core.costs import CostModel
 from repro.core.policies import RoutingPolicy
 from repro.engine.joins_engine import JoinSpec, run_eddy_joins
+from repro.engine.options import SHARED_ENGINE_OPTIONS, reject_unknown_options
 from repro.engine.results import ExecutionResult
 from repro.engine.static_engine import run_static
 from repro.engine.stems_engine import run_stems
@@ -30,9 +31,15 @@ def execute(
     until: float | None = None,
     strict_constraints: bool = False,
     batch_size: int = 1,
+    stem_index_kind: str = "hash",
+    stem_max_size: int | None = None,
+    stem_eviction: str | None = None,
+    stem_window: float | None = None,
+    shards: int | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
     trace: TraceLog | None = None,
+    **options,
 ) -> ExecutionResult:
     """Execute a select-project-join query and return its results and metrics.
 
@@ -52,6 +59,18 @@ def execute(
         batch_size: ready tuples the eddy drains per routing event (adaptive
             engines; 1 = the paper's per-tuple routing, >1 enables
             signature-batched routing with the destination cache).
+        stem_index_kind: secondary-index implementation inside SteMs
+            (``stems`` engine only).
+        stem_max_size: optional per-SteM row bound (``stems`` engine only).
+        stem_eviction: named SteM eviction policy — ``"count"``,
+            ``"time-window"`` or ``"reference-window"`` (``stems`` engine
+            only).
+        stem_window: build-timestamp window width for
+            ``stem_eviction="time-window"`` (``stems`` engine only).
+        shards: hash-partition every SteM across this many shard SteMs
+            with parallel probe collection (``stems`` engine only;
+            byte-identical results and traces at any shard count).  None
+            follows the ``REPRO_SHARDS`` environment setting.
         compiled_probes: route SteM probes through compiled
             :class:`~repro.query.probeplan.ProbePlan`\\ s (the default) or
             the interpreted predicate walk (``stems`` engine only; both
@@ -68,6 +87,11 @@ def execute(
     Returns:
         An :class:`~repro.engine.results.ExecutionResult`.
     """
+    reject_unknown_options(
+        "execute",
+        options,
+        ("engine", "policy", "plan", "until", "trace", *SHARED_ENGINE_OPTIONS),
+    )
     parsed = parse_query(query) if isinstance(query, str) else query
     if engine == "stems":
         return run_stems(
@@ -78,6 +102,11 @@ def execute(
             until=until,
             strict_constraints=strict_constraints,
             batch_size=batch_size,
+            stem_index_kind=stem_index_kind,
+            stem_max_size=stem_max_size,
+            stem_eviction=stem_eviction,
+            stem_window=stem_window,
+            shards=shards,
             compiled_probes=compiled_probes,
             columnar=columnar,
             trace=trace,

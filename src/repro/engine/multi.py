@@ -102,6 +102,7 @@ from repro.core.stem_registry import (
     stem_build_totals,
 )
 from repro.core.tuples import install_id_allocator
+from repro.engine.options import SHARED_ENGINE_OPTIONS, reject_unknown_options
 from repro.engine.results import ExecutionResult, MultiQueryResult
 from repro.engine.stems_engine import (
     collect_stems_result,
@@ -205,6 +206,14 @@ class MultiQueryEngine:
             vectorized plane (None follows ``REPRO_COLUMNAR_BACKEND``).
             Both planes produce byte-identical per-query results and
             traces.
+        shards: hash-partition every SteM — shared and private alike —
+            across this many shard SteMs with parallel probe collection
+            (:class:`~repro.core.partition.PartitionedSteM`); None follows
+            the ``REPRO_SHARDS`` environment setting, 1 keeps plain
+            single-shard SteMs.  Per-query results and traces are
+            byte-identical at any shard count; a late admission's first
+            probe sees all shards' pre-existing state, exactly as it sees
+            a single shared SteM's.
         continuous: allow starting with zero admissions (continuous-query
             service mode; queries arrive later via :meth:`admit` or a
             churn schedule).
@@ -224,6 +233,7 @@ class MultiQueryEngine:
         batch_size: int = 1,
         compiled_probes: bool | None = None,
         columnar: bool | None = None,
+        shards: int | None = None,
         continuous: bool = False,
     ):
         self.catalog = catalog
@@ -237,6 +247,7 @@ class MultiQueryEngine:
         self.batch_size = batch_size
         self.compiled_probes = compiled_probes
         self.columnar = columnar
+        self.shards = shards
         self.simulator = Simulator()
         self.registry: SteMRegistry | None = (
             SteMRegistry(
@@ -245,6 +256,7 @@ class MultiQueryEngine:
                 eviction=stem_eviction,
                 window=stem_window,
                 columnar=columnar,
+                shards=shards,
             )
             if shared_stems
             else None
@@ -378,6 +390,7 @@ class MultiQueryEngine:
             window=self.stem_window,
             compiled_probes=self.compiled_probes,
             columnar=self.columnar,
+            shards=self.shards,
         )
 
     # -- retirement --------------------------------------------------------------
@@ -518,12 +531,17 @@ class MultiQueryEngine:
                 results[query_id] = collect_stems_result(
                     ctx.eddy, ctx.query, final_time, engine="stems", query_id=query_id
                 )
-        stem_stats: dict[str, dict[str, int]] = {}
+        stem_stats: dict[str, dict] = {}
 
         def merge_stats(key: str, stats: dict) -> None:
             bucket = stem_stats.setdefault(key, {})
             for name, value in stats.items():
-                bucket[name] = bucket.get(name, 0) + value
+                if isinstance(value, int):
+                    bucket[name] = bucket.get(name, 0) + value
+                else:
+                    # Annotation entries (e.g. columnar_disabled_reason) are
+                    # strings — carry the latest one through, never sum.
+                    bucket[name] = value
 
         distinct: dict[int, SteM] = {}
         for ctx in self._queries:
@@ -591,10 +609,23 @@ def run_multi(
     batch_size: int = 1,
     stem_index_kind: str = "hash",
     stem_max_size: int | None = None,
+    stem_eviction: str | None = None,
+    stem_window: float | None = None,
+    shards: int | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
+    **options,
 ) -> MultiQueryResult:
-    """Convenience wrapper: build a :class:`MultiQueryEngine` and run it."""
+    """Convenience wrapper: build a :class:`MultiQueryEngine` and run it.
+
+    Accepts the same engine keyword set as
+    :func:`~repro.engine.api.execute` and :func:`run_churn`
+    (:data:`~repro.engine.options.SHARED_ENGINE_OPTIONS`), plus
+    ``shared_stems`` and ``until``.
+    """
+    reject_unknown_options(
+        "run_multi", options, ("shared_stems", "until", *SHARED_ENGINE_OPTIONS)
+    )
     engine = MultiQueryEngine(
         admissions,
         catalog,
@@ -604,6 +635,9 @@ def run_multi(
         batch_size=batch_size,
         stem_index_kind=stem_index_kind,
         stem_max_size=stem_max_size,
+        stem_eviction=stem_eviction,
+        stem_window=stem_window,
+        shards=shards,
         compiled_probes=compiled_probes,
         columnar=columnar,
     )
@@ -622,8 +656,10 @@ def run_churn(
     stem_max_size: int | None = None,
     stem_eviction: str | None = None,
     stem_window: float | None = None,
+    shards: int | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
+    **options,
 ) -> MultiQueryResult:
     """Run a churn schedule (dynamic admissions and retirements) to the end.
 
@@ -631,7 +667,15 @@ def run_churn(
     :class:`ChurnEvent` on the simulator, and runs — queries are created at
     their admission instants on the live run, and torn down again at their
     retirement instants.
+
+    Accepts the same engine keyword set as
+    :func:`~repro.engine.api.execute` and :func:`run_multi`
+    (:data:`~repro.engine.options.SHARED_ENGINE_OPTIONS`), plus
+    ``shared_stems`` and ``until``.
     """
+    reject_unknown_options(
+        "run_churn", options, ("shared_stems", "until", *SHARED_ENGINE_OPTIONS)
+    )
     engine = MultiQueryEngine(
         [],
         catalog,
@@ -643,6 +687,7 @@ def run_churn(
         stem_max_size=stem_max_size,
         stem_eviction=stem_eviction,
         stem_window=stem_window,
+        shards=shards,
         compiled_probes=compiled_probes,
         columnar=columnar,
         continuous=True,

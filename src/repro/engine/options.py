@@ -1,0 +1,58 @@
+"""Shared engine-option validation for the public entry points.
+
+:func:`~repro.engine.api.execute`, :func:`~repro.engine.multi.run_multi`
+and :func:`~repro.engine.multi.run_churn` accept one common engine keyword
+set (cost model, batching, SteM configuration — index kind, size bound,
+eviction policy/window, shard count — and the compiled/columnar plane
+switches).  Historically each wrapper named a different subset, so an
+option that worked on one entry point died as a bare ``TypeError`` (or was
+silently impossible to reach, as with ``multi --churn``) on the next.  Now
+every wrapper funnels its ``**kwargs`` remainder through
+:func:`reject_unknown_options`, which fails with the accepted names
+spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ExecutionError
+
+#: The engine keyword set shared by ``execute``/``run_multi``/``run_churn``
+#: (each entry point also keeps a few point-specific keywords, e.g.
+#: ``engine``/``plan`` on ``execute`` or ``shared_stems`` on the
+#: multi-query wrappers).
+SHARED_ENGINE_OPTIONS: tuple[str, ...] = (
+    "cost_model",
+    "strict_constraints",
+    "batch_size",
+    "stem_index_kind",
+    "stem_max_size",
+    "stem_eviction",
+    "stem_window",
+    "shards",
+    "compiled_probes",
+    "columnar",
+)
+
+
+def reject_unknown_options(
+    context: str,
+    options: Mapping[str, Any],
+    accepted: Iterable[str],
+) -> None:
+    """Raise a clear :class:`ExecutionError` when ``options`` is non-empty.
+
+    Args:
+        context: the entry point's name for the message (``"run_churn"``).
+        options: the unconsumed ``**kwargs`` remainder.
+        accepted: every keyword the entry point does accept.
+    """
+    if not options:
+        return
+    unknown = ", ".join(sorted(options))
+    expected = ", ".join(sorted(accepted))
+    raise ExecutionError(
+        f"{context}() got unknown option(s): {unknown}; "
+        f"accepted options are: {expected}"
+    )

@@ -29,8 +29,9 @@ from repro.core.eddy import Eddy
 from repro.core.modules.access import IndexAMModule, ScanAMModule
 from repro.core.modules.selection import SelectionModule
 from repro.core.modules.stem_module import SteMModule
+from repro.core.partition import partitioned_stem
 from repro.core.policies import RoutingPolicy, make_policy
-from repro.core.stem import SteM, make_eviction_policy
+from repro.core.stem import make_eviction_policy
 from repro.core.tuples import install_id_allocator
 from repro.engine.results import ExecutionResult, Series
 from repro.query.binding import validate_bindings
@@ -73,6 +74,16 @@ def instantiate_stems_query(
     # SteM is private or shared).
     for ref in query.tables:
         eddy.register_stem(ref.alias, make_stem_module(ref, query))
+    if eddy.trace is not None:
+        # A SteM whose columnar mirror auto-disabled (reference-window
+        # eviction) silently serves the row plane; note it in the trace so
+        # benchmark runs can't unknowingly measure the wrong plane.
+        for module in eddy.stems.values():
+            reason = getattr(module.stem, "columnar_disabled_reason", None)
+            if reason:
+                eddy.trace.record(
+                    0.0, "columnar-disabled", f"{module.stem.name}: {reason}"
+                )
     # Selection modules.
     for predicate in query.selection_predicates:
         eddy.register_selection(
@@ -123,6 +134,7 @@ def make_private_stem_module(
     window: float | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
+    shards: int | None = None,
 ) -> SteMModule:
     """A private SteM (and its module) for one FROM-clause entry.
 
@@ -134,16 +146,21 @@ def make_private_stem_module(
     ``eviction``/``window`` select a named eviction policy (the multi
     engine forwards its registry-level configuration so private SteMs honour
     the same bound); the default keeps count-FIFO iff ``max_size`` is set.
+    ``shards`` > 1 hash-partitions the SteM
+    (:class:`~repro.core.partition.PartitionedSteM`); None follows the
+    ``REPRO_SHARDS`` environment setting.
     """
-    stem = SteM(
+    stem = partitioned_stem(
         table=ref.table,
         aliases=(ref.alias,),
         join_columns=query.join_columns_of(ref.alias),
         index_kind=index_kind,
         max_size=max_size,
         eviction=make_eviction_policy(eviction, max_size=max_size, window=window),
+        window=window,
         columnar=columnar,
         name=f"stem:{ref.alias}",
+        shards=shards,
     )
     return SteMModule(
         stem,
@@ -198,6 +215,17 @@ class StemsEngine:
         strict_constraints: validate every routing decision (slower).
         stem_index_kind: index implementation inside SteMs.
         stem_max_size: optional SteM size bound (sliding-window eviction).
+        stem_eviction: named eviction policy (``"count"``,
+            ``"time-window"``, ``"reference-window"``) bounding each SteM;
+            None keeps count-FIFO iff ``stem_max_size`` is set.
+        stem_window: build-timestamp window width for
+            ``stem_eviction="time-window"``.
+        shards: hash-partition every SteM across this many shard SteMs with
+            parallel probe collection
+            (:class:`~repro.core.partition.PartitionedSteM`); None follows
+            the ``REPRO_SHARDS`` environment setting, 1 keeps the plain
+            single-shard SteM.  Results and traces are byte-identical
+            either way.
         batch_size: ready tuples drained per eddy routing event (1 =
             per-tuple routing; >1 enables signature-batched routing).
         columnar: serve compiled probes from the columnar mirror's
@@ -224,6 +252,9 @@ class StemsEngine:
         strict_constraints: bool = False,
         stem_index_kind: str = "hash",
         stem_max_size: int | None = None,
+        stem_eviction: str | None = None,
+        stem_window: float | None = None,
+        shards: int | None = None,
         preferences: Sequence = (),
         batch_size: int = 1,
         compiled_probes: bool | None = None,
@@ -237,6 +268,9 @@ class StemsEngine:
         self.strict_constraints = strict_constraints
         self.stem_index_kind = stem_index_kind
         self.stem_max_size = stem_max_size
+        self.stem_eviction = stem_eviction
+        self.stem_window = stem_window
+        self.shards = shards
         self.compiled_probes = compiled_probes
         self.columnar = columnar
 
@@ -268,8 +302,11 @@ class StemsEngine:
             self.costs,
             index_kind=self.stem_index_kind,
             max_size=self.stem_max_size,
+            eviction=self.stem_eviction,
+            window=self.stem_window,
             compiled_probes=self.compiled_probes,
             columnar=self.columnar,
+            shards=self.shards,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -298,6 +335,11 @@ def run_stems(
     cost_model: CostModel | None = None,
     until: float | None = None,
     strict_constraints: bool = False,
+    stem_index_kind: str = "hash",
+    stem_max_size: int | None = None,
+    stem_eviction: str | None = None,
+    stem_window: float | None = None,
+    shards: int | None = None,
     preferences: Sequence = (),
     batch_size: int = 1,
     compiled_probes: bool | None = None,
@@ -311,6 +353,11 @@ def run_stems(
         policy=policy,
         cost_model=cost_model,
         strict_constraints=strict_constraints,
+        stem_index_kind=stem_index_kind,
+        stem_max_size=stem_max_size,
+        stem_eviction=stem_eviction,
+        stem_window=stem_window,
+        shards=shards,
         preferences=preferences,
         batch_size=batch_size,
         compiled_probes=compiled_probes,

@@ -1,0 +1,389 @@
+"""Tests for hash-partitioned SteMs: the shard router, PartitionedSteM, factory.
+
+The load-bearing property throughout is *byte-identity*: a
+:class:`~repro.core.partition.PartitionedSteM` must be observationally
+indistinguishable from a single :class:`~repro.core.stem.SteM` — same probe
+results in the same order, same suppression counts, same coverage answers —
+at every shard count.  The router tests pin the hash contract that identity
+rests on (pure function, stable across value representations, total over
+hostile inputs).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.core.partition import (
+    PartitionedSteM,
+    configure_shard_pool,
+    default_shards,
+    partitioned_stem,
+    shard_of,
+    shard_pool,
+)
+from repro.core.stem import SteM, make_eviction_policy
+from repro.core.tuples import EOTTuple, singleton_tuple
+from repro.query.predicates import equi_join
+from repro.query.probeplan import ProbePlan
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+S_SCHEMA = Schema.of("x:int", "y:int")
+
+JOIN = equi_join("R.a", "S.x")
+
+
+def r_row(key, a):
+    return Row("R", R_SCHEMA, (key, a))
+
+
+def s_row(x, y=None):
+    return Row("S", S_SCHEMA, (x, x if y is None else y))
+
+
+def r_probe(key, a, timestamp=None):
+    probe = singleton_tuple("R", r_row(key, a))
+    if timestamp is not None:
+        probe.mark_built("R", timestamp)
+    return probe
+
+
+def make_pair(shards=4, **kwargs):
+    """A plain SteM and a PartitionedSteM to run differentially."""
+    plain = SteM("S", aliases=("S",), join_columns=("x",), **kwargs)
+    parted = PartitionedSteM(
+        "S", aliases=("S",), join_columns=("x",), shards=shards, **kwargs
+    )
+    return plain, parted
+
+
+def outcome_key(outcome):
+    """Everything a probe outcome exposes to the engine, as comparable data."""
+    return (
+        [r.identity() for r in outcome.results],
+        outcome.suppressed_by_timestamp,
+        outcome.all_matches_known,
+    )
+
+
+# -- the shard router ---------------------------------------------------------
+
+hostile_values = st.one_of(
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.booleans(),
+    st.none(),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+
+
+class TestShardRouter:
+    @settings(max_examples=200, deadline=None)
+    @given(value=hostile_values, shards=st.integers(min_value=1, max_value=16))
+    def test_pure_function_of_value_and_shard_count(self, value, shards):
+        first = shard_of(value, shards)
+        assert 0 <= first < shards
+        assert shard_of(value, shards) == first
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=hostile_values)
+    def test_single_shard_always_routes_to_zero(self, value):
+        assert shard_of(value, 1) == 0
+
+    def test_cross_representation_equality_hashes_consistently(self):
+        # Python's cross-type hash invariant (1 == 1.0 == True) must carry
+        # into the router, or a build under one representation would be
+        # invisible to a probe under another.
+        for shards in (2, 3, 4, 8):
+            assert shard_of(1, shards) == shard_of(1.0, shards)
+            assert shard_of(1, shards) == shard_of(True, shards)
+            assert shard_of(0, shards) == shard_of(0.0, shards)
+            assert shard_of(2**63, shards) == shard_of(float(2**63), shards)
+
+    def test_hostile_values_are_total(self):
+        # None, NaN, huge ints, unhashables: all route somewhere stable.
+        for shards in (2, 4):
+            assert shard_of(None, shards) == 0
+            assert shard_of(float("nan"), shards) == 0
+            assert 0 <= shard_of(2**63, shards) < shards
+            assert 0 <= shard_of(-(2**63), shards) < shards
+            assert shard_of([1, 2], shards) == 0  # unhashable
+        assert shard_of(math.nan, 4) == shard_of(float("nan"), 4)
+
+    def test_string_routing_is_interpreter_stable(self):
+        # str routing goes through crc32, not hash(), so it cannot depend
+        # on PYTHONHASHSEED.  Pin a few values as a regression anchor.
+        assert shard_of("alpha", 4) == shard_of("alpha", 4)
+        assert shard_of(b"alpha", 4) == shard_of("alpha", 4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.integers(min_value=0, max_value=10**6),
+                           min_size=1, max_size=50, unique=True),
+           shards=st.integers(min_value=2, max_value=8))
+    def test_fanout_union_is_a_partition(self, values, shards):
+        # Routing the same value set shard-wise and unioning back must be a
+        # permutation of the original (no value lost, none duplicated).
+        buckets = {s: [] for s in range(shards)}
+        for value in values:
+            buckets[shard_of(value, shards)].append(value)
+        merged = [v for s in range(shards) for v in buckets[s]]
+        assert sorted(merged) == sorted(values)
+
+
+# -- fan-out + merge vs. unpartitioned candidates -----------------------------
+
+class TestFanoutMerge:
+    @settings(max_examples=40, deadline=None)
+    @given(xs=st.lists(st.integers(min_value=0, max_value=30),
+                       min_size=0, max_size=60),
+           key=st.integers(min_value=0, max_value=30),
+           shards=st.integers(min_value=2, max_value=6))
+    def test_probe_results_identical_to_plain_stem(self, xs, key, shards):
+        plain = SteM("S", aliases=("S",), join_columns=("x",))
+        parted = PartitionedSteM("S", aliases=("S",), join_columns=("x",),
+                                 shards=shards)
+        for ts, x in enumerate(xs):
+            assert plain.build(s_row(x), float(ts)).duplicate == \
+                parted.build(s_row(x), float(ts)).duplicate
+        probe = r_probe(0, key, timestamp=float(len(xs) + 1))
+        assert outcome_key(parted.probe(probe, "S", [JOIN])) == \
+            outcome_key(plain.probe(r_probe(0, key, timestamp=float(len(xs) + 1)),
+                                    "S", [JOIN]))
+
+    def test_fanout_probe_merges_in_timestamp_order(self):
+        # A probe with no binding on the partition column fans out to every
+        # shard; the merged candidate stream must still be build-order.
+        plain, parted = make_pair(shards=4)
+        for ts in range(40):
+            plain.build(s_row(ts % 11, ts), float(ts))
+            parted.build(s_row(ts % 11, ts), float(ts))
+        # y has no index and is not the partition column: full fan-out.
+        pred = equi_join("R.a", "S.y")
+        probe = r_probe(0, 7, timestamp=100.0)
+        assert outcome_key(parted.probe(probe, "S", [pred])) == \
+            outcome_key(plain.probe(r_probe(0, 7, timestamp=100.0), "S", [pred]))
+
+    def test_compiled_probe_identical(self):
+        plain, parted = make_pair(shards=4)
+        for ts in range(60):
+            plain.build(s_row(ts % 13, ts % 7), float(ts))
+            parted.build(s_row(ts % 13, ts % 7), float(ts))
+        plan_a = ProbePlan("S", [JOIN])
+        plan_b = ProbePlan("S", [JOIN])
+        for key in range(15):
+            probe = r_probe(0, key, timestamp=200.0)
+            a = plain.probe_with_plan(probe, plan_a)
+            b = parted.probe_with_plan(r_probe(0, key, timestamp=200.0), plan_b)
+            assert outcome_key(a) == outcome_key(b)
+
+    def test_probe_batch_identical_serial_and_parallel(self):
+        plain, parted = make_pair(shards=4)
+        for ts in range(80):
+            plain.build(s_row(ts % 17, ts % 5), float(ts))
+            parted.build(s_row(ts % 17, ts % 5), float(ts))
+        probes = [r_probe(i, i % 19, timestamp=300.0 + i) for i in range(24)]
+        plan_a = ProbePlan("S", [JOIN])
+        plan_b = ProbePlan("S", [JOIN])
+        expected = [outcome_key(o) for o in plain.probe_batch(probes, plan_a)]
+        for workers in (1, 4):
+            configure_shard_pool(workers)
+            try:
+                probes_b = [r_probe(i, i % 19, timestamp=300.0 + i)
+                            for i in range(24)]
+                got = [outcome_key(o) for o in parted.probe_batch(probes_b, plan_b)]
+                assert got == expected
+            finally:
+                configure_shard_pool(None)
+
+
+# -- PartitionedSteM behavior -------------------------------------------------
+
+class TestPartitionedSteM:
+    def test_rejects_fewer_than_two_shards(self):
+        with pytest.raises(ExecutionError):
+            PartitionedSteM("S", aliases=("S",), join_columns=("x",), shards=1)
+
+    def test_wrong_table_build_rejected(self):
+        _, parted = make_pair()
+        with pytest.raises(ExecutionError):
+            parted.build(r_row(1, 1), 1.0)
+
+    def test_duplicates_detected_across_builds(self):
+        _, parted = make_pair()
+        assert not parted.build(s_row(1), 5.0).duplicate
+        outcome = parted.build(s_row(1), 9.0)
+        assert outcome.duplicate
+        assert outcome.timestamp == 5.0
+        assert len(parted) == 1
+
+    def test_rows_land_on_router_chosen_shard(self):
+        _, parted = make_pair(shards=4)
+        for x in range(20):
+            parted.build(s_row(x), float(x))
+        for shard_id, shard in enumerate(parted.shard_modules):
+            for row in shard:
+                assert parted.shard_for_value(row["x"]) == shard_id
+
+    def test_iteration_is_global_timestamp_order(self):
+        _, parted = make_pair(shards=4)
+        for ts, x in enumerate([9, 3, 7, 1, 12, 5]):
+            parted.build(s_row(x), float(ts))
+        seen = [parted.timestamp_of(row) for row in parted]
+        assert seen == sorted(seen)
+
+    def test_eot_coverage_matches_plain_stem(self):
+        plain, parted = make_pair(shards=4)
+        for stem in (plain, parted):
+            for x in range(8):
+                stem.build(s_row(x), float(x))
+            stem.build_eot(EOTTuple(table="S", alias="S", am_name="scan"))
+        probe = {"x": 3}
+        assert parted.covers(probe) == plain.covers(probe) is True
+        assert parted.scan_complete == plain.scan_complete is True
+        # An eviction invalidates wrapper-level scan-complete like it does
+        # the single SteM's.
+        plain.evict(s_row(3))
+        parted.evict(s_row(3))
+        assert parted.scan_complete == plain.scan_complete
+
+    def test_evict_listeners_fire_through_wrapper(self):
+        _, parted = make_pair(shards=4)
+        evicted = []
+        parted.add_evict_listener(evicted.append)
+        for x in range(6):
+            parted.build(s_row(x), float(x))
+        assert parted.evict(s_row(2))
+        assert [row["x"] for row in evicted] == [2]
+        assert parted.remove_evict_listener(evicted.append)
+
+    def test_count_eviction_bound_divides_across_shards(self):
+        # max_size is a bound on the logical SteM: each of 4 shards gets
+        # ceil(8/4) = 2 rows, so the whole never holds (much) more than 8.
+        _, parted = make_pair(shards=4, eviction="count", max_size=8)
+        for x in range(40):
+            parted.build(s_row(x), float(x))
+        for shard in parted.shard_modules:
+            assert len(shard) <= 2
+        assert len(parted) <= 8
+
+    def test_time_window_eviction_expires_per_shard(self):
+        # Expiry is lazy — it runs at each build — so each shard holds rows
+        # within the window of *its own* newest build.  Shard floors trail
+        # the global floor, so the single shard's survivors are always a
+        # subset of the sharded survivors; nothing the single shard would
+        # keep is ever missing from the partitioned SteM.
+        plain = SteM("S", aliases=("S",), join_columns=("x",),
+                     eviction=make_eviction_policy("time-window", window=10))
+        parted = PartitionedSteM("S", aliases=("S",), join_columns=("x",),
+                                 shards=4, eviction="time-window", window=10)
+        for ts in range(50):
+            plain.build(s_row(ts), float(ts))
+            parted.build(s_row(ts), float(ts))
+        plain_rows = {r["x"] for r in plain}
+        parted_rows = {r["x"] for r in parted}
+        assert plain_rows <= parted_rows
+        for shard in parted.shard_modules:
+            newest = shard.max_timestamp
+            for row in shard:
+                assert shard.timestamp_of(row) > newest - 10
+
+    def test_reference_window_policy_rejected(self):
+        with pytest.raises(ExecutionError):
+            PartitionedSteM("S", aliases=("S",), join_columns=("x",),
+                            shards=2, eviction="reference-window", max_size=8)
+
+    def test_stats_schema_matches_plain_stem_plus_shards(self):
+        plain, parted = make_pair(shards=4)
+        for stem in (plain, parted):
+            for ts in range(30):
+                stem.build(s_row(ts % 9), float(ts))
+        probe = r_probe(0, 4, timestamp=50.0)
+        plain.probe(probe, "S", [JOIN])
+        parted.probe(r_probe(0, 4, timestamp=50.0), "S", [JOIN])
+        p, q = dict(plain.stats), dict(parted.stats)
+        assert q.pop("shards") == 4
+        assert p == q
+        per_shard = parted.shard_stats()
+        assert len(per_shard) == 4
+        assert sum(s["builds"] for s in per_shard) == p["builds"]
+
+    def test_alias_and_join_column_forwarding(self):
+        _, parted = make_pair(shards=2)
+        parted.add_alias("S2")
+        parted.ensure_join_columns(["y"])
+        parted.build(s_row(1, 4), 0.0)
+        probe = r_probe(0, 4, timestamp=10.0)
+        outcome = parted.probe(probe, "S2", [equi_join("R.a", "S2.y")])
+        assert len(outcome.results) == 1
+        assert parted.drop_join_column("y")
+        parted.remove_alias("S2")
+
+
+# -- the factory and pool -----------------------------------------------------
+
+class TestFactoryAndPool:
+    def test_factory_returns_plain_stem_for_one_shard(self):
+        stem = partitioned_stem("S", aliases=("S",), join_columns=("x",), shards=1)
+        assert isinstance(stem, SteM)
+
+    def test_factory_returns_partitioned_for_many(self):
+        stem = partitioned_stem("S", aliases=("S",), join_columns=("x",), shards=4)
+        assert isinstance(stem, PartitionedSteM)
+        assert stem.shards == 4
+
+    def test_factory_falls_back_for_reference_window(self):
+        stem = partitioned_stem("S", aliases=("S",), join_columns=("x",),
+                                shards=4, eviction="reference-window", max_size=8)
+        assert isinstance(stem, SteM)
+
+    def test_default_shards_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert default_shards() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert default_shards() == 4
+        monkeypatch.setenv("REPRO_SHARDS", "not-a-number")
+        assert default_shards() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        assert default_shards() == 1
+
+    def test_factory_uses_default_shards_when_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        stem = partitioned_stem("S", aliases=("S",), join_columns=("x",))
+        assert isinstance(stem, PartitionedSteM)
+        assert stem.shards == 3
+
+    def test_configure_shard_pool(self):
+        try:
+            configure_shard_pool(1)
+            assert shard_pool() is None
+            configure_shard_pool(4)
+            pool = shard_pool()
+            assert pool is not None
+            assert pool is shard_pool()  # shared, not rebuilt per call
+            with pytest.raises(ExecutionError):
+                configure_shard_pool(0)
+        finally:
+            configure_shard_pool(None)
+
+
+# -- satellite: columnar auto-disable note ------------------------------------
+
+class TestColumnarDisabledReason:
+    def test_reference_window_records_reason(self):
+        stem = SteM("S", aliases=("S",), join_columns=("x",),
+                    eviction="reference-window", max_size=8, columnar=True)
+        reason = stem.stats.get("columnar_disabled_reason")
+        assert reason is not None
+        assert "reference" in reason and "columnar" in reason
+        assert stem.columnar_disabled_reason == reason
+
+    def test_plain_policies_record_no_reason(self):
+        for kwargs in ({}, {"eviction": "count", "max_size": 8}):
+            stem = SteM("S", aliases=("S",), join_columns=("x",), **kwargs)
+            assert stem.columnar_disabled_reason is None
+            assert "columnar_disabled_reason" not in stem.stats

@@ -233,9 +233,13 @@ class TestSteMRegistry:
             stem.build(row, float(position + 1))
         stem2 = registry.stem_for("R", "R2", ("a",))
         # The new index was backfilled: an a-bound probe uses it and finds
-        # the pre-existing rows.
+        # the pre-existing rows.  Under REPRO_SHARDS the registry hands out
+        # a partitioned SteM whose indexes live in the shards.
         wanted = table.rows[0]["a"]
-        matches = [row for row in stem2._indexes["a"].lookup((wanted,))]
+        shards = getattr(stem2, "shard_modules", (stem2,))
+        matches = [
+            row for shard in shards for row in shard._indexes["a"].lookup((wanted,))
+        ]
         assert matches and all(row["a"] == wanted for row in matches)
 
     def test_broadcast_reaches_every_attached_runtime(self):
