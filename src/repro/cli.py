@@ -11,6 +11,11 @@ Usage::
                                             # N staggered queries over shared SteMs
     python -m repro multi --churn --duration 60 --arrival-rate 0.25 \
         --eviction time-window --window 200  # continuous-query churn service
+    python -m repro multi --checkpoint-dir /tmp/ckpt --checkpoint-interval 5
+                                            # durable run: WAL + periodic snapshots
+    python -m repro recover /tmp/ckpt       # inspect a checkpoint directory
+    python -m repro recover /tmp/ckpt --run --mode resume
+                                            # restore the engine and run it on
     python -m repro gauntlet                # the adversarial workload gauntlet
     python -m repro gauntlet --scenario skew --smoke --json out.json
 
@@ -118,6 +123,8 @@ def _run_churn(args: argparse.Namespace) -> None:
         stem_max_size=args.window if args.eviction in ("count", "reference-window")
         else None,
         stem_window=args.window if args.eviction == "time-window" else None,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
     print(result.summary())
     stats = result.registry_stats
@@ -154,6 +161,8 @@ def _run_multi(args: argparse.Namespace) -> None:
         batch_size=args.batch_size,
         columnar=columnar,
         shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
     print(result.summary())
     if not args.private_stems and not args.no_baseline:
@@ -174,6 +183,69 @@ def _run_multi(args: argparse.Namespace) -> None:
             f"results identical: "
             f"{result.same_results(baseline)}"
         )
+
+
+def _recover_workload(args: argparse.Namespace):
+    """Rebuild the workload a durable ``multi`` run executed.
+
+    The checkpoint holds the engine's state, not the base tables: sources
+    are re-streamed from the catalog, so recovery needs the same workload
+    knobs (``--rows``, ``--seed``, ...) the original run used.
+    """
+    if args.churn:
+        return churn_workload(
+            duration=args.duration,
+            arrival_rate=args.arrival_rate,
+            mean_lifetime=args.mean_lifetime,
+            rows=args.rows,
+            policy=args.policy,
+            seed=args.seed,
+        )
+    return staggered_fleet_workload(
+        n_queries=args.queries,
+        stagger=args.stagger,
+        rows=args.rows,
+        policy=args.policy,
+    )
+
+
+def _run_recover(args: argparse.Namespace) -> None:
+    from repro.recovery import recover_state, restore_engine
+
+    state = recover_state(args.checkpoint_dir)
+    stored_rows = sum(len(table.rows) for table in state.tables.values())
+    print(f"Checkpoint directory: {args.checkpoint_dir}")
+    print(f"  snapshot generation: {state.snapshot_seq}")
+    print(f"  WAL records replayed: {state.wal_records_applied} "
+          f"(torn tail records truncated: {state.torn_wal_records})")
+    print(f"  torn snapshots skipped: {state.torn_snapshots}")
+    print(f"  shared SteMs: {len(state.tables)} holding {stored_rows} rows")
+    print(f"  admissions logged: {len(state.admissions)} "
+          f"({len(state.retired)} retired)")
+    print(f"  results acknowledged: {state.total_emitted()}")
+    print(f"  next build timestamp: {state.next_timestamp}")
+    if not args.run:
+        return
+    workload = _recover_workload(args)
+    churn_events = (
+        workload.events if args.churn and args.mode == "replay" else ()
+    )
+    restored = restore_engine(
+        state,
+        workload.catalog,
+        mode=args.mode,
+        churn_events=churn_events,
+        batch_size=args.batch_size,
+        shards=args.shards,
+    )
+    result = restored.run()
+    print(f"\nRecovered run ({args.mode} mode):")
+    print(result.summary())
+    suppressed = sum(
+        res.eddy_stats.get("suppressed_emits", 0)
+        for res in result.results.values()
+    )
+    print(f"  already-acknowledged results suppressed: {suppressed}")
 
 
 def _run_gauntlet(args: argparse.Namespace) -> int:
@@ -286,6 +358,48 @@ def build_parser() -> argparse.ArgumentParser:
                               help="churn: workload RNG seed")
     multi_parser.add_argument("--row-plane", action="store_true", help=row_plane_help)
     multi_parser.add_argument("--shards", type=int, default=None, help=shards_help)
+    multi_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                              help="make the run durable: write-ahead log every "
+                                   "state change (and snapshot periodically) "
+                                   "into DIR for crash recovery")
+    multi_parser.add_argument("--checkpoint-interval", type=float, default=None,
+                              metavar="SECONDS",
+                              help="virtual seconds between snapshots (requires "
+                                   "--checkpoint-dir; default: WAL-only, one "
+                                   "final snapshot at shutdown)")
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="inspect a checkpoint directory and optionally restore the run",
+    )
+    recover_parser.add_argument("checkpoint_dir",
+                                help="checkpoint directory of a durable multi run")
+    recover_parser.add_argument("--run", action="store_true",
+                                help="restore the engine and run it (default: "
+                                     "only print the recovered-state summary)")
+    recover_parser.add_argument("--mode", default="resume",
+                                choices=["resume", "replay"],
+                                help="resume: continue service with restored "
+                                     "state; replay: deterministically re-run "
+                                     "the whole logged workload (crash "
+                                     "recovery), suppressing already-"
+                                     "acknowledged results in both modes")
+    recover_parser.add_argument("--queries", type=int, default=8,
+                                help="original workload: number of queries")
+    recover_parser.add_argument("--stagger", type=float, default=4.0,
+                                help="original workload: arrival stagger")
+    recover_parser.add_argument("--rows", type=int, default=250,
+                                help="original workload: rows per base table")
+    recover_parser.add_argument("--policy", default="naive",
+                                choices=["benefit", "naive", "lottery", "random"])
+    recover_parser.add_argument("--churn", action="store_true",
+                                help="the original run was a --churn run")
+    recover_parser.add_argument("--duration", type=float, default=40.0)
+    recover_parser.add_argument("--arrival-rate", type=float, default=0.25)
+    recover_parser.add_argument("--mean-lifetime", type=float, default=15.0)
+    recover_parser.add_argument("--seed", type=int, default=0,
+                                help="original workload RNG seed")
+    recover_parser.add_argument("--batch-size", type=int, default=1, help=batch_help)
+    recover_parser.add_argument("--shards", type=int, default=None, help=shards_help)
     gauntlet_parser = subparsers.add_parser(
         "gauntlet",
         help="run the adversarial workload gauntlet (hostile generators, "
@@ -321,6 +435,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_query(args)
     elif args.command == "multi":
         _run_multi(args)
+    elif args.command == "recover":
+        _run_recover(args)
     elif args.command == "gauntlet":
         return _run_gauntlet(args)
     return 0

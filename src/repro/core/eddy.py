@@ -72,6 +72,23 @@ class OutputRecord:
     tuple: QTuple
 
 
+@dataclass
+class QuarantineRecord:
+    """One poisoned tuple pulled out of the dataflow, with its provenance.
+
+    A predicate or extractor that raises mid-probe would otherwise
+    propagate out of the module's service event and wedge the whole
+    simulator; instead the tuple is trapped here with the module that
+    tripped and the error text, the eddy's accounting treats it like a
+    retired tuple, and processing continues.
+    """
+
+    time: float
+    tuple: QTuple
+    module: str
+    error: str
+
+
 class Eddy:
     """The routing operator.
 
@@ -160,6 +177,23 @@ class Eddy:
         self.index_ams: dict[str, list[IndexAMModule]] = {}
         self.join_modules: list[Module] = []
 
+        #: Emission hook: called with every emitted result tuple *before*
+        #: control returns to routing.  The durability layer uses it to
+        #: write-ahead an acknowledgement record, making "emitted" mean
+        #: "durably acknowledged" for the exactly-once recovery protocol.
+        self.on_emit = None
+        #: Exactly-once suppression filter installed by crash recovery:
+        #: called with each would-be result tuple, returns False when the
+        #: result was already durably acknowledged before the crash.  A
+        #: suppressed tuple still feeds the policy's output feedback (the
+        #: replayed run must make the same adaptive decisions as the
+        #: original), but is not appended to :attr:`outputs` and does not
+        #: reach :attr:`on_emit` again.
+        self.emit_filter = None
+        #: Poisoned tuples trapped out of the dataflow (raising predicate
+        #: or extractor), in trap order.
+        self.quarantine: list[QuarantineRecord] = []
+
         #: Results and statistics.
         self.outputs: list[OutputRecord] = []
         #: Times at which composite (partial-result) tuples of each span
@@ -177,6 +211,8 @@ class Eddy:
             "eots_routed": 0,
             "blocked_offers": 0,
             "liveness_changes": 0,
+            "quarantined": 0,
+            "suppressed_emits": 0,
         }
 
     # -- module registration -----------------------------------------------------
@@ -509,7 +545,18 @@ class Eddy:
             self._blocked.setdefault(module.name, deque()).append(item)
 
     def _emit(self, tuple_: QTuple) -> None:
+        if self.emit_filter is not None and not self.emit_filter(tuple_):
+            # Already acknowledged before a crash: keep the policy feedback
+            # (behavioural identity with the uninterrupted run) but do not
+            # expose or re-acknowledge the result.
+            self.stats["suppressed_emits"] += 1
+            self.policy.on_output(tuple_, self)
+            if self.trace is not None:
+                self.trace.record(self.now, "output_suppressed", tuple_.tuple_id)
+            return
         self.outputs.append(OutputRecord(self.now, tuple_))
+        if self.on_emit is not None:
+            self.on_emit(tuple_)
         self.policy.on_output(tuple_, self)
         if self.trace is not None:
             self.trace.record(self.now, "output", tuple_.tuple_id)
@@ -519,6 +566,25 @@ class Eddy:
         self.policy.on_retire(tuple_, self)
         if self.trace is not None:
             self.trace.record(self.now, "retire", tuple_.tuple_id)
+
+    def quarantine_tuple(self, tuple_: QTuple, module: str, error: Exception) -> None:
+        """Trap a poisoned tuple out of the dataflow (graceful degradation).
+
+        Modules call this when a user predicate or extractor raises while
+        processing ``tuple_``: instead of the exception propagating out of
+        the service event and wedging the simulator, the tuple is recorded
+        in :attr:`quarantine` with the raising module and error, accounted
+        to the policy like a retirement (its lineage must not be considered
+        in-flight forever), traced, and dropped.  The rest of the batch —
+        and every other query — keeps running.
+        """
+        self.stats["quarantined"] += 1
+        self.quarantine.append(
+            QuarantineRecord(self.now, tuple_, module, f"{type(error).__name__}: {error}")
+        )
+        self.policy.on_retire(tuple_, self)
+        if self.trace is not None:
+            self.trace.record(self.now, "quarantine", tuple_.tuple_id)
 
     def _drop_failed(self, tuple_: QTuple) -> None:
         """Drop a tuple that failed a predicate, with full accounting.

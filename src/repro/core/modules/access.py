@@ -251,14 +251,36 @@ class IndexAMModule(Module):
         )
         # Static event label, precomputed once (scheduled per lookup).
         self._lookup_label = f"{self.name}:lookup"
+        self._retry_label = f"{self.name}:retry"
         self._pending_keys: set[tuple[Any, ...]] = set()
         self._completed_keys: set[tuple[Any, ...]] = set()
         self._lookup_queue: list[tuple[Any, ...]] = []
         self._active_lookups = 0
+        # Flaky-source model (seeded per-attempt failure draws).  Imported
+        # lazily: the fault helpers live in the recovery package, which
+        # imports the engine — a module-level import would be circular.
+        if spec.failure_rate > 0:
+            from repro.recovery.faults import lookup_fault_model
+
+            self._fault_model = lookup_fault_model(
+                spec.failure_rate, spec.failure_seed
+            )
+        else:
+            self._fault_model = None
         #: (virtual time, cumulative lookup count) series for Figure 7(ii).
         self.lookup_series: list[tuple[float, int]] = []
         self.stats.update(
-            {"probes": 0, "lookups": 0, "dedup_hits": 0, "matches": 0, "unbindable": 0}
+            {
+                "probes": 0,
+                "lookups": 0,
+                "dedup_hits": 0,
+                "matches": 0,
+                "unbindable": 0,
+                "lookup_failures": 0,
+                "lookup_retries": 0,
+                "lookup_timeouts": 0,
+                "lookups_abandoned": 0,
+            }
         )
 
     # -- probe handling -----------------------------------------------------------
@@ -310,13 +332,86 @@ class IndexAMModule(Module):
             self._active_lookups += 1
             self.stats["lookups"] += 1
             self.lookup_series.append((self.runtime.now, int(self.stats["lookups"])))
-            delay = self.latency.sample()
-            completion = self.availability.next_available(self.runtime.now + delay)
+            self._issue_attempt(key, 1)
+
+    def _issue_attempt(self, key: tuple[Any, ...], attempt: int) -> None:
+        """Issue one lookup attempt; the key's concurrency slot stays held."""
+        assert self.runtime is not None
+        delay = self.latency.sample()
+        completion = self.availability.next_available(self.runtime.now + delay)
+        timeout = self.spec.lookup_timeout
+        if timeout is not None and completion - self.runtime.now > timeout:
+            # The attempt would land past its deadline; give up on it *at*
+            # the deadline instead of waiting out the stall.
             self.runtime.schedule(
-                completion - self.runtime.now,
-                lambda key=key: self._complete_lookup(key),
+                timeout,
+                lambda key=key, attempt=attempt: self._attempt_timed_out(
+                    key, attempt
+                ),
                 label=self._lookup_label,
             )
+            return
+        self.runtime.schedule(
+            completion - self.runtime.now,
+            lambda key=key, attempt=attempt: self._attempt_completed(key, attempt),
+            label=self._lookup_label,
+        )
+
+    def _attempt_timed_out(self, key: tuple[Any, ...], attempt: int) -> None:
+        assert self.runtime is not None
+        if not getattr(self.runtime, "live", True):
+            self._active_lookups -= 1
+            self._pending_keys.discard(key)
+            return
+        self.stats["lookup_timeouts"] += 1
+        self._attempt_failed(key, attempt)
+
+    def _attempt_completed(self, key: tuple[Any, ...], attempt: int) -> None:
+        if self._fault_model is not None:
+            assert self.runtime is not None
+            if not getattr(self.runtime, "live", True):
+                self._active_lookups -= 1
+                self._pending_keys.discard(key)
+                return
+            if self._fault_model(attempt):
+                self.stats["lookup_failures"] += 1
+                self._attempt_failed(key, attempt)
+                return
+        self._complete_lookup(key)
+
+    def _attempt_failed(self, key: tuple[Any, ...], attempt: int) -> None:
+        assert self.runtime is not None
+        if attempt > self.spec.max_retries:
+            self._abandon_lookup(key)
+            return
+        self.stats["lookup_retries"] += 1
+        backoff = self.spec.retry_backoff * (2 ** (attempt - 1))
+        if backoff > 0:
+            self.runtime.schedule(
+                backoff,
+                lambda key=key, attempt=attempt: self._issue_attempt(
+                    key, attempt + 1
+                ),
+                label=self._retry_label,
+            )
+        else:
+            self._issue_attempt(key, attempt + 1)
+
+    def _abandon_lookup(self, key: tuple[Any, ...]) -> None:
+        """Give a key up after exhausting its retries.
+
+        No matches and *no EOT* enter the dataflow: the key's coverage is
+        left unclaimed, so the SteM never wrongly claims completeness — the
+        query completes with a degraded (under-covered) result instead of
+        wedging, and a later probe on the same key starts a fresh lookup
+        (the key returns to neither the pending nor the completed set).
+        """
+        assert self.runtime is not None
+        self.stats["lookups_abandoned"] += 1
+        self._active_lookups -= 1
+        self._pending_keys.discard(key)
+        self._start_lookups()
+        self.runtime.notify_idle(self)
 
     def stop(self) -> None:
         """Abandon queued lookups (query retirement).

@@ -36,7 +36,19 @@ class SelectionModule(Module):
         assert isinstance(item, QTuple)
         if item.is_done(self.predicate):
             return [item]
-        if self.predicate.evaluate(item.components):
+        try:
+            passed = self.predicate.evaluate(item.components)
+        except Exception as error:
+            # Poison row: a raising user predicate must not wedge the eddy.
+            # The runtime traps the tuple into its quarantine (traced, with
+            # policy feedback); without a quarantine hook (bare unit-test
+            # harnesses) the error propagates as before.
+            trap = getattr(self.runtime, "quarantine_tuple", None)
+            if trap is None:
+                raise
+            trap(item, self.name, error)
+            return []
+        if passed:
             item.mark_done([self.predicate])
             if self.predicate.priority > item.priority:
                 # Tuples satisfying a user-prioritised predicate inherit its

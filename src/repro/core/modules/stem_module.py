@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import ExecutionError
 from repro.core.modules.base import Module, Routable
 from repro.core.stem import SteM
 from repro.core.tuples import EOTTuple, QTuple
@@ -112,10 +113,16 @@ class SteMModule(Module):
 
     def _handle_build(self, item: QTuple) -> list[Routable]:
         assert self.runtime is not None
-        self.stats["builds"] += 1
         alias = item.single_alias
         row = item.component(alias)
-        outcome = self.stem.build(row, self.runtime.next_timestamp())
+        try:
+            outcome = self.stem.build(row, self.runtime.next_timestamp())
+        except ExecutionError:
+            raise
+        except Exception as error:
+            self._trap_poison(item, error)
+            return []
+        self.stats["builds"] += 1
         if outcome.duplicate:
             # SteM BounceBack constraint: duplicates are NOT bounced back;
             # the redundant work of a competing AM ends here.
@@ -131,19 +138,45 @@ class SteMModule(Module):
         if note is not None:
             note(item)
 
+    def _trap_poison(self, item: QTuple, error: Exception) -> None:
+        """Quarantine a tuple whose predicate/extractor raised mid-service.
+
+        Wiring errors (:class:`ExecutionError`) are never trapped — they are
+        engine bugs, not poison data — and without a quarantine-capable
+        runtime (bare unit-test harnesses) the error propagates unchanged.
+        """
+        trap = getattr(self.runtime, "quarantine_tuple", None)
+        if trap is None:
+            raise error
+        trap(item, self.name, error)
+
     # -- probes -------------------------------------------------------------------
 
     def _handle_probe(self, item: QTuple) -> list[Routable]:
         assert self.runtime is not None
-        self.stats["probes"] += 1
         target = self._probe_target(item)
         if target is None:
             # Nothing to extend toward (e.g. self-join fully spanned): no-op.
+            self.stats["probes"] += 1
             return [item]
-        if self.compiled_probes:
-            outcome = self.stem.probe_with_plan(item, self.probe_plan_for(item, target))
-        else:
-            outcome = self.stem.probe(item, target, self._pending_predicates(item, target))
+        try:
+            if self.compiled_probes:
+                outcome = self.stem.probe_with_plan(
+                    item, self.probe_plan_for(item, target)
+                )
+            else:
+                outcome = self.stem.probe(
+                    item, target, self._pending_predicates(item, target)
+                )
+        except ExecutionError:
+            raise
+        except Exception as error:
+            # Poison probe: the SteM's counters were left untouched (stats
+            # commit only after its candidate loop), so trapping here keeps
+            # every counter consistent with the work actually done.
+            self._trap_poison(item, error)
+            return []
+        self.stats["probes"] += 1
         self.stats["results"] += len(outcome.results)
         counters = self.signature_stats.setdefault(
             (item.spanned_mask, item.done_mask), [0, 0]
@@ -339,10 +372,16 @@ class SharedSteMModule(SteMModule):
 
     def _handle_build(self, item: QTuple) -> list[Routable]:
         assert self.runtime is not None
-        self.stats["builds"] += 1
         alias = item.single_alias
         row = item.component(alias)
-        outcome = self.stem.build(row, self.runtime.next_timestamp())
+        try:
+            outcome = self.stem.build(row, self.runtime.next_timestamp())
+        except ExecutionError:
+            raise
+        except Exception as error:
+            self._trap_poison(item, error)
+            return []
+        self.stats["builds"] += 1
         if row in self._carried:
             # This query already carried the row through its dataflow: a
             # competing-AM duplicate, ended here (SteM BounceBack).

@@ -56,6 +56,7 @@ reference-tracking policies outright.
 
 from __future__ import annotations
 
+import atexit
 import heapq
 import os
 import zlib
@@ -85,6 +86,7 @@ __all__ = [
     "partitioned_stem",
     "shard_of",
     "shard_pool",
+    "shutdown_shard_pool",
 ]
 
 #: 64-bit mask for the hash mixer.
@@ -199,6 +201,30 @@ def shard_pool() -> ThreadPoolExecutor | None:
     return _pool
 
 
+def shutdown_shard_pool(wait: bool = True) -> bool:
+    """Shut down the process-wide shard pool and release its threads.
+
+    The pool is shared and lazily rebuilt, so this is always safe: the next
+    :func:`shard_pool` call after a shutdown creates a fresh executor with
+    the configured worker count.  Engines tearing down durably (service
+    shutdown, test teardown) call this so worker threads don't outlive the
+    work; it is also registered with :mod:`atexit` as a guard, so an
+    interpreter exiting with a live pool joins the workers instead of
+    leaking them past the interpreter's own executor shutdown hooks.
+
+    Returns True when a live pool was actually shut down.
+    """
+    global _pool
+    if _pool is None:
+        return False
+    _pool.shutdown(wait=wait)
+    _pool = None
+    return True
+
+
+atexit.register(shutdown_shard_pool)
+
+
 # -- the partitioned SteM ---------------------------------------------------------
 
 class PartitionedSteM:
@@ -297,6 +323,11 @@ class PartitionedSteM:
         self._scan_complete: set[str] = set()
         self._eot_keys: dict[tuple[str, ...], set[tuple[Any, ...]]] = {}
         self._evict_listeners: list = []
+        # Wrapper-level build/EOT listeners: durability observers see one
+        # logical SteM, not N shards (shard-level listeners would double the
+        # bookkeeping and leak the shard split into the WAL).
+        self._build_listeners: list = []
+        self._eot_listeners: list = []
         self._row_schema: Schema | None = None
         #: Wrapper-level counters; build/duplicate/eviction counts live in
         #: the shards and are rolled up by :attr:`stats`.
@@ -421,7 +452,10 @@ class PartitionedSteM:
             )
         if self._row_schema is None:
             self._row_schema = row.schema
-        return self._shards[self._route_row(row)].build(row, timestamp)
+        outcome = self._shards[self._route_row(row)].build(row, timestamp)
+        for listener in self._build_listeners:
+            listener(row, outcome.timestamp, outcome.duplicate)
+        return outcome
 
     def build_batch(
         self, rows: Sequence[Row], timestamps: Sequence[float]
@@ -441,6 +475,8 @@ class PartitionedSteM:
             self._eot_keys.setdefault(tuple(eot.bound_columns), set()).add(
                 tuple(eot.bound_values)
             )
+        for listener in self._eot_listeners:
+            listener(eot)
 
     # -- probe ------------------------------------------------------------------
 
@@ -748,6 +784,30 @@ class PartitionedSteM:
             return False
         return True
 
+    def add_build_listener(self, callback) -> None:
+        """Register a ``(row, timestamp, duplicate)`` callback (wrapper
+        level: one notification per logical build, whichever shard stored
+        the row)."""
+        self._build_listeners.append(callback)
+
+    def remove_build_listener(self, callback) -> bool:
+        try:
+            self._build_listeners.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    def add_eot_listener(self, callback) -> None:
+        """Register a callback invoked with every EOT built (wrapper level)."""
+        self._eot_listeners.append(callback)
+
+    def remove_eot_listener(self, callback) -> bool:
+        try:
+            self._eot_listeners.remove(callback)
+        except ValueError:
+            return False
+        return True
+
     def _on_shard_evict(self, row: Row) -> None:
         # Coverage is a wrapper-level claim over all shards; any dropped
         # row invalidates it, exactly as on a single-shard SteM.
@@ -813,6 +873,45 @@ class PartitionedSteM:
         if row.table != self.table:
             return None
         return self._shards[self._route_row(row)].timestamp_of(row)
+
+    # -- durability ----------------------------------------------------------------
+
+    def state_entries(self) -> list[tuple[Row, float]]:
+        """Stored ``(row, build_timestamp)`` pairs in global timestamp order.
+
+        Build timestamps are globally monotone, so the timestamp-sorted
+        union of the shard stores is the logical SteM's insertion order;
+        rebuilding an empty partitioned SteM by calling :meth:`build` over
+        these entries reproduces every shard (routing is a pure function of
+        the row) and its columnar mirror exactly.
+        """
+        entries: list[tuple[float, int, Row]] = []
+        for shard_id, shard in enumerate(self._shards):
+            entries.extend(
+                (timestamp, shard_id, row) for row, timestamp in shard._rows.items()
+            )
+        entries.sort(key=lambda entry: entry[:2])
+        return [(row, timestamp) for timestamp, _, row in entries]
+
+    def coverage_state(self) -> tuple[set[str], dict[tuple[str, ...], set[tuple[Any, ...]]]]:
+        """Copy of the wrapper-level EOT coverage state."""
+        return (
+            set(self._scan_complete),
+            {columns: set(values) for columns, values in self._eot_keys.items()},
+        )
+
+    def restore_coverage(
+        self,
+        scan_complete: Iterable[str],
+        eot_keys: Mapping[tuple[str, ...], Iterable[tuple[Any, ...]]],
+    ) -> None:
+        """Reinstall wrapper-level EOT coverage (resume-mode restore only;
+        see :meth:`repro.core.stem.SteM.restore_coverage`)."""
+        self._scan_complete.update(scan_complete)
+        for columns, values in eot_keys.items():
+            self._eot_keys.setdefault(tuple(columns), set()).update(
+                tuple(value) for value in values
+            )
 
     @property
     def row_schema(self) -> Schema | None:

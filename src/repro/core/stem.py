@@ -324,6 +324,12 @@ class SteM:
         #: window, so a re-delivered row re-enters the dataflow instead of
         #: being mistaken for a still-stored duplicate.
         self._evict_listeners: list = []
+        #: Callbacks invoked after every :meth:`build` with
+        #: ``(row, timestamp, duplicate)`` — duplicates included, so a WAL
+        #: replaying the stream reproduces the duplicate counters too.
+        self._build_listeners: list = []
+        #: Callbacks invoked after every :meth:`build_eot` with the EOT.
+        self._eot_listeners: list = []
         #: Operational statistics.  Values are ints except the optional
         #: ``columnar_disabled_reason`` note (folding consumers must skip
         #: non-int entries).
@@ -434,6 +440,8 @@ class SteM:
         existing = self._rows.get(row)
         if existing is not None:
             self.stats["duplicates"] += 1
+            for listener in self._build_listeners:
+                listener(row, existing, True)
             return BuildOutcome(duplicate=True, timestamp=existing)
         self._rows[row] = timestamp
         for index in self._indexes.values():
@@ -453,6 +461,8 @@ class SteM:
             self._max_timestamp = timestamp
         if self.eviction is not None:
             self.eviction.on_build(self, row, timestamp)
+        for listener in self._build_listeners:
+            listener(row, timestamp, False)
         return BuildOutcome(duplicate=False, timestamp=timestamp)
 
     def build_batch(
@@ -483,6 +493,8 @@ class SteM:
             self._eot_keys.setdefault(tuple(eot.bound_columns), set()).add(
                 tuple(eot.bound_values)
             )
+        for listener in self._eot_listeners:
+            listener(eot)
 
     # -- probe ------------------------------------------------------------------
 
@@ -519,7 +531,6 @@ class SteM:
             raise ExecutionError(
                 f"alias {target_alias!r} is not served by {self.name}"
             )
-        self.stats["probes"] += 1
         outcome = ProbeOutcome()
 
         bindings = self._probe_bindings(probe, target_alias, predicates)
@@ -552,6 +563,10 @@ class SteM:
             # after candidate iteration (candidates can alias ``_rows``).
             for row in matched_rows:
                 hook.on_match(self, row)
+        # Stats commit only once the whole candidate loop has survived: a
+        # raising generic predicate must leave the counters untouched so the
+        # quarantine path can retry or drop the probe without skew.
+        self.stats["probes"] += 1
         self.stats["matches"] += len(outcome.results)
         outcome.all_matches_known = self.covers(bindings)
         if update_last_match:
@@ -593,7 +608,6 @@ class SteM:
             return self._probe_columnar(
                 probe, plan, enforce_timestamp, update_last_match
             )
-        self.stats["probes"] += 1
         outcome = ProbeOutcome()
 
         components = probe.components
@@ -666,6 +680,9 @@ class SteM:
                 hook.on_match(self, row)
         outcome.candidates_examined = examined
         outcome.suppressed_by_timestamp = suppressed
+        # Stats commit after the loop (see :meth:`probe`): a raising generic
+        # predicate leaves the counters untouched.
+        self.stats["probes"] += 1
         self.stats["matches"] += len(results)
         outcome.all_matches_known = self.covers(plan.bindings_mapping(binding_values))
         if update_last_match:
@@ -927,7 +944,6 @@ class SteM:
         store = self._col
         assert store is not None
         target_alias = plan.target_alias
-        self.stats["probes"] += 1
         outcome = ProbeOutcome()
 
         components = probe.components
@@ -953,8 +969,8 @@ class SteM:
                 bucket = store.posting_slots(column, value)
                 if bucket is None:
                     # Mirror lacks the posting list (should not happen):
-                    # fall back to the row plane rather than diverge.
-                    self.stats["probes"] -= 1
+                    # fall back to the row plane rather than diverge.  No
+                    # stats to roll back — counters commit only at the end.
                     mirror, self._col = self._col, None
                     try:
                         return self.probe_with_plan(
@@ -1025,6 +1041,9 @@ class SteM:
             )
         outcome.candidates_examined = examined
         outcome.suppressed_by_timestamp = suppressed
+        # Stats commit after the loop (see :meth:`probe`): a raising generic
+        # predicate leaves the counters untouched.
+        self.stats["probes"] += 1
         self.stats["matches"] += len(results)
         outcome.all_matches_known = self.covers(plan.bindings_mapping(binding_values))
         if update_last_match:
@@ -1130,6 +1149,35 @@ class SteM:
 
     # -- eviction ----------------------------------------------------------------
 
+    def add_build_listener(self, callback) -> None:
+        """Register a callback invoked after every build.
+
+        Called as ``callback(row, timestamp, duplicate)`` — duplicates
+        included, so a durability log replaying the build stream reproduces
+        the duplicate counters exactly.
+        """
+        self._build_listeners.append(callback)
+
+    def remove_build_listener(self, callback) -> bool:
+        """Unregister a build listener; True when it was registered."""
+        try:
+            self._build_listeners.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    def add_eot_listener(self, callback) -> None:
+        """Register a callback invoked with every EOT built into the SteM."""
+        self._eot_listeners.append(callback)
+
+    def remove_eot_listener(self, callback) -> bool:
+        """Unregister an EOT listener; True when it was registered."""
+        try:
+            self._eot_listeners.remove(callback)
+        except ValueError:
+            return False
+        return True
+
     def add_evict_listener(self, callback) -> None:
         """Register a callback invoked with every evicted row."""
         self._evict_listeners.append(callback)
@@ -1188,6 +1236,42 @@ class SteM:
     def timestamp_of(self, row: Row) -> float | None:
         """The build timestamp of a stored row, or None if absent."""
         return self._rows.get(row)
+
+    # -- durability ----------------------------------------------------------------
+
+    def state_entries(self) -> list[tuple[Row, float]]:
+        """Stored ``(row, build_timestamp)`` pairs in insertion order.
+
+        The snapshot unit for the durability layer: rebuilding an empty SteM
+        by calling :meth:`build` over these entries (in order, with the
+        recorded timestamps) reproduces the row store, secondary indexes and
+        columnar mirror exactly.
+        """
+        return list(self._rows.items())
+
+    def coverage_state(self) -> tuple[set[str], dict[tuple[str, ...], set[tuple[Any, ...]]]]:
+        """Copy of the EOT coverage state (scan completions, index EOT keys)."""
+        return (
+            set(self._scan_complete),
+            {columns: set(values) for columns, values in self._eot_keys.items()},
+        )
+
+    def restore_coverage(
+        self,
+        scan_complete: Iterable[str],
+        eot_keys: Mapping[tuple[str, ...], Iterable[tuple[Any, ...]]],
+    ) -> None:
+        """Reinstall EOT coverage from a snapshot (resume-mode restore only).
+
+        Replay-mode recovery must NOT call this: restored coverage would
+        short-circuit index-AM lookups whose re-delivered singletons the
+        replay needs, so coverage is left to redevelop during replay.
+        """
+        self._scan_complete.update(scan_complete)
+        for columns, values in eot_keys.items():
+            self._eot_keys.setdefault(tuple(columns), set()).update(
+                tuple(value) for value in values
+            )
 
     @property
     def row_schema(self) -> Schema | None:

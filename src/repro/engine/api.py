@@ -1,4 +1,4 @@
-"""The public one-call API: :func:`execute`."""
+"""The public one-call API: :func:`execute` and :func:`recover_multi`."""
 
 from __future__ import annotations
 
@@ -119,3 +119,48 @@ def execute(
     if engine == "static":
         return run_static(parsed, catalog)
     raise ExecutionError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def recover_multi(
+    checkpoint_dir: str,
+    catalog: Catalog,
+    mode: str = "resume",
+    churn_events: Sequence = (),
+    until: float | None = None,
+    **engine_kwargs,
+):
+    """Recover a durable multi-query run from its checkpoint directory.
+
+    Loads the latest valid snapshot plus the WAL tail written by a run that
+    used ``checkpoint_dir`` (see the ``checkpoint_dir`` option of
+    :func:`repro.engine.multi.run_multi`), rebuilds the engine in the given
+    mode, and runs it to completion.
+
+    Args:
+        checkpoint_dir: the directory the original run checkpointed into.
+        catalog: the catalog the original run executed against (the base
+            tables are re-streamed; they are not part of the checkpoint).
+        mode: ``"resume"`` (continue service: restored state and coverage,
+            active queries only, already-acknowledged results suppressed) or
+            ``"replay"`` (crash recovery: deterministic re-run of the whole
+            logged workload with acknowledged results suppressed — the
+            union of pre-crash and post-restore outputs equals an
+            uninterrupted run).
+        churn_events: in replay mode, the original churn schedule; the
+            portion already reflected in the log is skipped.
+        until: virtual-time bound for the recovered run.
+        engine_kwargs: engine configuration, which must match the original
+            run's for replay identity.
+
+    Returns:
+        The recovered run's :class:`~repro.engine.results.MultiQueryResult`.
+    """
+    # Imported here: the recovery package imports the engine, so a
+    # module-level import would be circular.
+    from repro.recovery import recover_state, restore_engine
+
+    state = recover_state(checkpoint_dir)
+    restored = restore_engine(
+        state, catalog, mode=mode, churn_events=churn_events, **engine_kwargs
+    )
+    return restored.run(until=until)

@@ -86,7 +86,6 @@ state and throughput under sustained admission/retirement).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -102,7 +101,11 @@ from repro.core.stem_registry import (
     stem_build_totals,
 )
 from repro.core.tuples import install_id_allocator
-from repro.engine.options import SHARED_ENGINE_OPTIONS, reject_unknown_options
+from repro.engine.options import (
+    DURABILITY_OPTIONS,
+    SHARED_ENGINE_OPTIONS,
+    reject_unknown_options,
+)
 from repro.engine.results import ExecutionResult, MultiQueryResult
 from repro.engine.stems_engine import (
     collect_stems_result,
@@ -149,6 +152,29 @@ class _AdmittedQuery:
     arrival_time: float
     eddy: Eddy
     started: bool = False
+
+
+class _TimestampCounter:
+    """The global build-timestamp source, peekable for durability.
+
+    Behaves like ``itertools.count(start)`` for the eddies drawing from it,
+    but exposes :attr:`next_value` so a checkpoint can persist *where the
+    counter is* — a restored engine resuming service continues the total
+    order instead of re-issuing timestamps already assigned to stored rows.
+    """
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start: int = 1):
+        self.next_value = int(start)
+
+    def __iter__(self) -> "_TimestampCounter":
+        return self
+
+    def __next__(self) -> int:
+        value = self.next_value
+        self.next_value = value + 1
+        return value
 
 
 @dataclass(frozen=True)
@@ -217,6 +243,10 @@ class MultiQueryEngine:
         continuous: allow starting with zero admissions (continuous-query
             service mode; queries arrive later via :meth:`admit` or a
             churn schedule).
+        timestamp_start: first value of the global build-timestamp counter.
+            1 for fresh runs; a resume-mode restore passes the persisted
+            next value so the total order over builds continues where the
+            previous incarnation stopped.
     """
 
     def __init__(
@@ -235,6 +265,7 @@ class MultiQueryEngine:
         columnar: bool | None = None,
         shards: int | None = None,
         continuous: bool = False,
+        timestamp_start: int = 1,
     ):
         self.catalog = catalog
         self.costs = cost_model or CostModel()
@@ -263,7 +294,14 @@ class MultiQueryEngine:
         )
         #: One build-timestamp source for every eddy: the TimeStamp
         #: constraint requires a total order over builds across queries.
-        self._timestamps = itertools.count(1)
+        #: ``timestamp_start`` lets a resume-mode restore continue the
+        #: persisted total order instead of re-issuing assigned timestamps.
+        self._timestamps = _TimestampCounter(timestamp_start)
+        #: Durability hooks: called as ``cb(query_id, admission, query,
+        #: start_time, eddy)`` after every successful admission, and
+        #: ``cb(query_id, time)`` after every retirement.
+        self._admission_listeners: list = []
+        self._retire_listeners: list = []
         self._queries: list[_AdmittedQuery] = []
         #: Every query id ever admitted, in admission order (retired ones
         #: included — they keep their slot in the final result).
@@ -358,7 +396,28 @@ class MultiQueryEngine:
             self.simulator.schedule_at(
                 start_time, eddy.start, label=f"admit:{query_id}"
             )
+        for listener in self._admission_listeners:
+            listener(query_id, admission, query, start_time, eddy)
         return query_id
+
+    def add_admission_listener(self, callback) -> None:
+        """Register a callback invoked after every successful admission.
+
+        Called as ``callback(query_id, admission, query, start_time, eddy)``
+        — the durability layer write-aheads the admission and installs the
+        exactly-once emit filter from here.
+        """
+        self._admission_listeners.append(callback)
+
+    def add_retire_listener(self, callback) -> None:
+        """Register a ``callback(query_id, time)`` invoked after every
+        retirement."""
+        self._retire_listeners.append(callback)
+
+    @property
+    def next_build_timestamp(self) -> int:
+        """The next value the global build-timestamp counter will issue."""
+        return self._timestamps.next_value
 
     def _make_stem_module(
         self, ref: TableRef, query: Query, owner: str
@@ -433,6 +492,8 @@ class MultiQueryEngine:
             ctx.eddy.layout.probe_plans.clear()
         self._queries.remove(ctx)
         self._retired[query_id] = result
+        for listener in self._retire_listeners:
+            listener(query_id, now)
         return result
 
     def _ctx(self, query_id: str) -> _AdmittedQuery:
@@ -614,6 +675,8 @@ def run_multi(
     shards: int | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: float | None = None,
     **options,
 ) -> MultiQueryResult:
     """Convenience wrapper: build a :class:`MultiQueryEngine` and run it.
@@ -621,10 +684,16 @@ def run_multi(
     Accepts the same engine keyword set as
     :func:`~repro.engine.api.execute` and :func:`run_churn`
     (:data:`~repro.engine.options.SHARED_ENGINE_OPTIONS`), plus
-    ``shared_stems`` and ``until``.
+    ``shared_stems``, ``until`` and the durability pair
+    (:data:`~repro.engine.options.DURABILITY_OPTIONS`): a
+    ``checkpoint_dir`` attaches the :mod:`repro.recovery` WAL/snapshot
+    layer so a killed run can be recovered with
+    :func:`repro.recovery.restore_engine`.
     """
     reject_unknown_options(
-        "run_multi", options, ("shared_stems", "until", *SHARED_ENGINE_OPTIONS)
+        "run_multi",
+        options,
+        ("shared_stems", "until", *SHARED_ENGINE_OPTIONS, *DURABILITY_OPTIONS),
     )
     engine = MultiQueryEngine(
         admissions,
@@ -641,7 +710,37 @@ def run_multi(
         compiled_probes=compiled_probes,
         columnar=columnar,
     )
-    return engine.run(until=until)
+    return _run_durably(engine, until, checkpoint_dir, checkpoint_interval)
+
+
+def _run_durably(
+    engine: MultiQueryEngine,
+    until: float | None,
+    checkpoint_dir: str | None,
+    checkpoint_interval: float | None,
+) -> MultiQueryResult:
+    """Run the engine, optionally under a checkpoint/WAL manager.
+
+    The import is lazy: :mod:`repro.recovery` builds *on top of* the engine
+    layer, so the engine must not import it at module scope.
+    """
+    if checkpoint_dir is None:
+        if checkpoint_interval is not None:
+            raise ExecutionError(
+                "checkpoint_interval requires checkpoint_dir "
+                "(an interval without a durability directory does nothing)"
+            )
+        return engine.run(until=until)
+    from repro.recovery import CheckpointManager
+
+    manager = CheckpointManager.attach(
+        engine, checkpoint_dir, interval=checkpoint_interval
+    )
+    try:
+        result = engine.run(until=until)
+    finally:
+        manager.close()
+    return result
 
 
 def run_churn(
@@ -659,6 +758,8 @@ def run_churn(
     shards: int | None = None,
     compiled_probes: bool | None = None,
     columnar: bool | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: float | None = None,
     **options,
 ) -> MultiQueryResult:
     """Run a churn schedule (dynamic admissions and retirements) to the end.
@@ -671,10 +772,13 @@ def run_churn(
     Accepts the same engine keyword set as
     :func:`~repro.engine.api.execute` and :func:`run_multi`
     (:data:`~repro.engine.options.SHARED_ENGINE_OPTIONS`), plus
-    ``shared_stems`` and ``until``.
+    ``shared_stems``, ``until`` and the durability pair
+    (:data:`~repro.engine.options.DURABILITY_OPTIONS`).
     """
     reject_unknown_options(
-        "run_churn", options, ("shared_stems", "until", *SHARED_ENGINE_OPTIONS)
+        "run_churn",
+        options,
+        ("shared_stems", "until", *SHARED_ENGINE_OPTIONS, *DURABILITY_OPTIONS),
     )
     engine = MultiQueryEngine(
         [],
@@ -693,4 +797,4 @@ def run_churn(
         continuous=True,
     )
     engine.schedule_churn(events)
-    return engine.run(until=until)
+    return _run_durably(engine, until, checkpoint_dir, checkpoint_interval)

@@ -35,6 +35,16 @@ SHARED_ENGINE_OPTIONS: tuple[str, ...] = (
     "columnar",
 )
 
+#: Durability keywords accepted by the multi-query entry points
+#: (``run_multi``/``run_churn`` and the CLI's ``multi`` subcommand): a
+#: checkpoint directory enables the write-ahead log + snapshot layer of
+#: :mod:`repro.recovery`, and the interval paces periodic checkpoints in
+#: virtual time.
+DURABILITY_OPTIONS: tuple[str, ...] = (
+    "checkpoint_dir",
+    "checkpoint_interval",
+)
+
 
 def reject_unknown_options(
     context: str,

@@ -1,0 +1,57 @@
+"""Durability and fault tolerance for the multi-query engine.
+
+The engine is an in-memory continuous-query service; this package makes its
+recoverable state survive a crash:
+
+* :mod:`~repro.recovery.codec` — an exact, hostile-value-safe serialization
+  layer (tagged JSON: NaN/±inf/-0.0 round-trip via ``float.hex``, big ints,
+  bytes, bool-vs-int) plus the CRC-framed record format shared by snapshots
+  and the WAL, and the :func:`~repro.recovery.codec.query_to_sql` unparser
+  that lets admissions round-trip through the log.
+* :mod:`~repro.recovery.wal` — an append-only write-ahead log of
+  build/evict/EOT/admit/retire/emit events with tiered durability
+  (admissions flush inline; result acknowledgements group-commit — batched
+  per commit window into ``emits`` records and flushed once; bulk build
+  traffic is group-flushed) and torn-tail detection on replay.
+* :mod:`~repro.recovery.snapshot` — atomic checksummed snapshots with
+  generation retention: a torn snapshot is detected and recovery falls back
+  to the previous generation plus a longer WAL replay.
+* :mod:`~repro.recovery.manager` — the :class:`CheckpointManager` that
+  observes a live :class:`~repro.engine.multi.MultiQueryEngine` through
+  listener hooks, plus :func:`recover_state` / :func:`restore_engine` which
+  rebuild an engine from disk in ``replay`` (crash recovery with
+  exactly-once emission) or ``resume`` (service restart) mode.
+* :mod:`~repro.recovery.faults` — deterministic fault injection: crashes at
+  exact event boundaries, torn snapshot writes, and seeded index-lookup
+  failure models for the graceful-degradation paths.
+* :mod:`~repro.recovery.harness` — the differential crash-recovery oracle:
+  kill a run at an arbitrary event boundary, restore from disk, and check
+  that pre-crash acknowledged results plus post-restore results equal an
+  uninterrupted run's results exactly — no duplicates, no losses.
+"""
+
+from repro.recovery.codec import query_to_sql
+from repro.recovery.faults import CrashInjector, InjectedCrash, lookup_fault_model
+from repro.recovery.harness import crash_recovery_oracle, run_reference
+from repro.recovery.manager import (
+    CheckpointManager,
+    RecoveredState,
+    recover_state,
+    restore_engine,
+)
+from repro.recovery.snapshot import SnapshotStore
+from repro.recovery.wal import WriteAheadLog
+
+__all__ = [
+    "CheckpointManager",
+    "CrashInjector",
+    "InjectedCrash",
+    "RecoveredState",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "crash_recovery_oracle",
+    "lookup_fault_model",
+    "query_to_sql",
+    "recover_state",
+    "restore_engine",
+]

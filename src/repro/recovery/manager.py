@@ -1,0 +1,759 @@
+"""Checkpoint/WAL durability for the multi-query engine, and recovery.
+
+:class:`CheckpointManager` observes a live
+:class:`~repro.engine.multi.MultiQueryEngine` through listener hooks — SteM
+creation/build/evict/EOT from the registry, admissions/retirements from the
+engine, result emission from each eddy — writing every recoverable state
+change to a :class:`~repro.recovery.wal.WriteAheadLog` and periodically
+folding the full state into a :class:`~repro.recovery.snapshot.SnapshotStore`
+generation.  :func:`recover_state` inverts the pair (latest valid snapshot +
+WAL tail replay, torn tails truncated), and :func:`restore_engine` rebuilds
+a runnable engine from the recovered state in one of two modes:
+
+``replay`` (crash recovery, the differential-oracle mode)
+    Re-runs the *whole* workload from virtual time zero with the persisted
+    shared-SteM rows pre-installed at their original build timestamps and
+    the timestamp counter reset.  Correctness rests on the paper's own
+    TimeStamp machinery: counter draws are monotone in event-execution
+    order, so the replay assigns every build attempt the same timestamp as
+    the original run, restored rows are absorbed as duplicates *with their
+    original timestamps* (the shared-SteM bounce-back still fires, because
+    each query's carried-set starts empty), and probe results — which
+    depend only on rows with ``ts < probe_ts`` — are identical.  Private
+    per-query SteMs are deliberately *not* restored (a restored private row
+    would absorb its replayed build without bounce-back and lose results),
+    and EOT coverage is *not* restored (it would short-circuit index-AM
+    lookups whose re-delivered singletons the replay needs); both redevelop
+    identically during replay.  Acknowledged results are suppressed through
+    each eddy's ``emit_filter`` — the exactly-once half of the protocol.
+
+``resume`` (service restart)
+    Continues the service: full shared state including coverage is
+    reinstalled, the timestamp counter resumes from its persisted next
+    value, only still-active queries are re-admitted (as a fresh segment —
+    their sources re-stream), and emit filters again suppress already-
+    acknowledged results across the restart boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExecutionError
+from repro.engine.multi import ChurnEvent, MultiQueryEngine, QueryAdmission
+from repro.recovery.codec import (
+    canonical_json,
+    decode_coverage,
+    decode_row,
+    decode_schema,
+    decode_value,
+    encode_coverage,
+    encode_row,
+    encode_schema,
+    encode_value,
+)
+from repro.recovery.codec import query_to_sql
+from repro.recovery.snapshot import SnapshotStore
+from repro.recovery.wal import WriteAheadLog, replay_wal_file, wal_generations
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = [
+    "CheckpointManager",
+    "RecoveredState",
+    "identity_key",
+    "recover_state",
+    "restore_engine",
+]
+
+
+def _repr_stable(value) -> bool:
+    """True when ``repr`` is already a canonical key for the value.
+
+    Ints and strs repr deterministically and injectively; nested tuples of
+    them inherit both properties.  Everything else (floats with NaN/-0.0,
+    bool-vs-int shadowing, bytes) must take the tagged-JSON path.
+    """
+    stack = [value]
+    while stack:
+        item = stack.pop()
+        kind = type(item)
+        if kind is int or kind is str:
+            # type(True) is bool, never int — bools can't slip in here.
+            continue
+        if kind is tuple:
+            stack.extend(item)
+            continue
+        return False
+    return True
+
+
+def identity_key(tuple_) -> str:
+    """Canonical durable key of a result tuple's identity.
+
+    The exactly-once protocol compares identities across process lifetimes,
+    so the key must be equal for equal results even when the values are
+    hostile (NaN never equals itself in Python, but its encoded text does).
+    Identities built purely from ints/strs — the overwhelmingly common case,
+    and this runs once per emitted result — take a ``repr`` fast path; the
+    two key families cannot collide because an identity is always a tuple,
+    so fast keys start with ``(`` and encoded ones with ``[``.
+    """
+    identity = tuple_.identity()
+    if _repr_stable(identity):
+        return repr(identity)
+    return canonical_json(encode_value(identity))
+
+
+def _make_emit_filter(remaining: dict[str, int]):
+    """An ``Eddy.emit_filter`` suppressing each acked identity N times."""
+
+    def emit_filter(tuple_) -> bool:
+        key = identity_key(tuple_)
+        count = remaining.get(key, 0)
+        if count > 0:
+            remaining[key] = count - 1
+            return False
+        return True
+
+    return emit_filter
+
+
+# -- recovered-state model ---------------------------------------------------------
+
+
+@dataclass
+class RecoveredTable:
+    """One shared SteM's persisted content."""
+
+    table: str
+    aliases: tuple[str, ...]
+    join_columns: tuple[str, ...]
+    schema: Schema | None = None
+    #: Encoded-row-key -> (row, build timestamp); dict so an evict record
+    #: can remove exactly its row, insertion order irrelevant (restore
+    #: sorts by timestamp).
+    rows: dict[str, tuple[Row, float]] = field(default_factory=dict)
+    scan_complete: set = field(default_factory=set)
+    eot_keys: dict = field(default_factory=dict)
+
+    def ordered_rows(self) -> list[tuple[Row, float]]:
+        return sorted(self.rows.values(), key=lambda entry: entry[1])
+
+
+@dataclass
+class RecoveredAdmission:
+    """One logged admission (replay re-admits it verbatim)."""
+
+    query_id: str
+    sql: str | None
+    policy: str
+    arrival_time: float
+    recoverable: bool = True
+
+
+@dataclass
+class RecoveredState:
+    """Everything :func:`recover_state` reads back from a checkpoint dir."""
+
+    directory: str
+    tables: dict[str, RecoveredTable] = field(default_factory=dict)
+    admissions: list[RecoveredAdmission] = field(default_factory=list)
+    #: Query id -> retirement virtual time.
+    retired: dict[str, float] = field(default_factory=dict)
+    #: Query id -> {identity key: acknowledged count}.
+    emitted: dict[str, dict[str, int]] = field(default_factory=dict)
+    next_timestamp: int = 1
+    #: Diagnostics: torn WAL lines truncated, torn snapshots skipped.
+    torn_wal_records: int = 0
+    torn_snapshots: int = 0
+    wal_records_applied: int = 0
+    snapshot_seq: int | None = None
+
+    def emitted_counts(self, query_id: str) -> dict[str, int]:
+        """Copy of one query's acknowledged-identity counts."""
+        return dict(self.emitted.get(query_id, {}))
+
+    def total_emitted(self) -> int:
+        return sum(sum(c.values()) for c in self.emitted.values())
+
+
+# -- the checkpoint manager --------------------------------------------------------
+
+
+class CheckpointManager:
+    """Write-ahead + snapshot durability attached to one live engine.
+
+    Use :meth:`attach`; the constructor wires nothing.  One manager per
+    engine, one engine incarnation per WAL generation.
+    """
+
+    def __init__(
+        self,
+        engine: MultiQueryEngine,
+        directory: str,
+        interval: float | None = None,
+        flush_every: int = 256,
+        retain: int = 2,
+        commit_latency: float = 0.25,
+    ):
+        if engine.registry is None:
+            raise ExecutionError(
+                "durability requires shared SteMs (shared_stems=True): "
+                "private per-query state is rebuilt by replay, but the "
+                "recoverable state lives in the registry"
+            )
+        if commit_latency < 0:
+            raise ExecutionError(
+                f"commit_latency must be >= 0, got {commit_latency}"
+            )
+        if interval is not None and interval <= 0:
+            raise ExecutionError(
+                f"checkpoint_interval must be > 0, got {interval}"
+            )
+        self.engine = engine
+        self.directory = directory
+        self.interval = interval
+        self.snapshots = SnapshotStore(directory, retain=retain)
+        generations = wal_generations(directory)
+        self.generation = generations[-1][0] + 1 if generations else 1
+        self.wal = WriteAheadLog(
+            os.path.join(directory, f"wal-{self.generation:06d}.log"),
+            flush_every=flush_every,
+            group_commit=True,
+        )
+        #: Group-commit window in *virtual* seconds: durable records wait
+        #: at most this long before their shared flush (0 = same instant).
+        self.commit_latency = commit_latency
+        #: True while a group-commit event is queued.
+        self._commit_scheduled = False
+        #: Tables whose schema record has been written this incarnation.
+        self._schema_written: set[str] = set()
+        #: In-memory mirror of acknowledged identities (snapshot source).
+        self._emitted: dict[str, dict[str, int]] = {}
+        #: Admissions observed (for snapshots), in admission order.
+        self._admissions: list[RecoveredAdmission] = []
+        self._retire_times: dict[str, float] = {}
+        self._closed = False
+        self.stats: dict[str, Any] = {
+            "checkpoints": 0,
+            "checkpoint_wall_seconds": 0.0,
+            "last_snapshot_bytes": 0,
+            "unrecoverable_admissions": 0,
+            "wal_records": 0,
+        }
+
+    # -- attachment ------------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        engine: MultiQueryEngine,
+        directory: str,
+        interval: float | None = None,
+        flush_every: int = 256,
+        retain: int = 2,
+        commit_latency: float = 0.25,
+    ) -> "CheckpointManager":
+        """Create a manager and wire it onto the engine's hooks.
+
+        Queries admitted before the attach are logged immediately (their
+        eddies get the emission hook), and already-created shared SteMs are
+        announced through the registry's create-listener contract, so
+        attaching at any point before :meth:`MultiQueryEngine.run` captures
+        the complete state history.
+        """
+        manager = cls(
+            engine,
+            directory,
+            interval=interval,
+            flush_every=flush_every,
+            retain=retain,
+            commit_latency=commit_latency,
+        )
+        engine.registry.add_create_listener(manager._on_stem_created)
+        engine.add_admission_listener(manager._on_admit)
+        engine.add_retire_listener(manager._on_retire)
+        for ctx in engine._queries:
+            manager._record_admission(
+                ctx.query_id,
+                None,
+                ctx.query,
+                ctx.arrival_time,
+                ctx.eddy,
+            )
+        if interval is not None:
+            engine.simulator.schedule(
+                interval, manager._checkpoint_tick, label="recovery:checkpoint"
+            )
+        return manager
+
+    # -- engine listeners ------------------------------------------------------
+
+    def _on_stem_created(self, table: str, stem) -> None:
+        self._append(
+            "stem",
+            {
+                "t": table,
+                "aliases": list(stem.aliases),
+                "join": list(stem.join_columns),
+            },
+        )
+        stem.add_build_listener(
+            lambda row, ts, dup, table=table: self._on_build(table, row, ts, dup)
+        )
+        stem.add_eot_listener(
+            lambda eot, table=table: self._on_eot(table, eot)
+        )
+        stem.add_evict_listener(
+            lambda row, table=table: self._on_evict(table, row)
+        )
+
+    def _on_build(self, table: str, row: Row, timestamp: float, duplicate: bool) -> None:
+        if table not in self._schema_written:
+            self._schema_written.add(table)
+            self._append("schema", {"t": table, "s": encode_schema(row.schema)})
+        if duplicate:
+            # No state change, but the tick keeps the logged timestamp
+            # horizon moving so a resumed counter stays monotone.  The WAL
+            # holds only the latest pending tick and materializes it at
+            # the next flush — see ``WriteAheadLog.note_duplicate_build``.
+            self.wal.note_duplicate_build(table, timestamp)
+            return
+        self._append("build", {"t": table, "r": encode_row(row), "ts": timestamp})
+
+    def _on_evict(self, table: str, row: Row) -> None:
+        self._append("evict", {"t": table, "r": encode_row(row)})
+
+    def _on_eot(self, table: str, eot) -> None:
+        self._append(
+            "eot",
+            {
+                "t": table,
+                "alias": eot.alias,
+                "am": eot.am_name,
+                "scan": bool(eot.is_scan_eot),
+                "cols": list(eot.bound_columns),
+                "vals": encode_value(tuple(eot.bound_values)),
+            },
+        )
+
+    def _on_admit(self, query_id, admission, query, start_time, eddy) -> None:
+        self._record_admission(query_id, admission, query, start_time, eddy)
+
+    def _record_admission(self, query_id, admission, query, start_time, eddy) -> None:
+        sql: str | None
+        recoverable = True
+        if admission is not None and isinstance(admission.query, str):
+            sql = admission.query
+        else:
+            try:
+                sql = query_to_sql(query)
+            except ExecutionError:
+                sql = None
+                recoverable = False
+        if eddy.preferences:
+            # Preference predicates have no SQL form; the admission runs
+            # fine but cannot be re-created from the log.
+            recoverable = False
+        if not recoverable:
+            self.stats["unrecoverable_admissions"] += 1
+        record = RecoveredAdmission(
+            query_id=query_id,
+            sql=sql,
+            policy=eddy.policy.name,
+            arrival_time=start_time,
+            recoverable=recoverable,
+        )
+        self._admissions.append(record)
+        self._append(
+            "admit",
+            {
+                "q": query_id,
+                "sql": sql,
+                "policy": record.policy,
+                "at": start_time,
+                "ok": recoverable,
+            },
+        )
+        if eddy.on_emit is not None:
+            raise ExecutionError(
+                f"eddy {query_id!r} already has an emission hook; "
+                "one durability manager per engine"
+            )
+        eddy.on_emit = self._make_emit_hook(query_id)
+
+    def _make_emit_hook(self, query_id: str):
+        def on_emit(tuple_) -> None:
+            key = identity_key(tuple_)
+            bucket = self._emitted.setdefault(query_id, {})
+            bucket[key] = bucket.get(key, 0) + 1
+            self.stats["wal_records"] += 1
+            self.wal.log_emit(query_id, key)
+            if not self._commit_scheduled:
+                self._schedule_commit()
+
+        return on_emit
+
+    def _on_retire(self, query_id: str, now: float) -> None:
+        self._retire_times[query_id] = now
+        self._append("retire", {"q": query_id, "at": now})
+
+    def _append(self, kind: str, body: dict) -> None:
+        self.stats["wal_records"] += 1
+        self.wal.append(kind, body)
+        if self.wal.needs_commit and not self._commit_scheduled:
+            self._schedule_commit()
+
+    def _schedule_commit(self) -> None:
+        # Group commit: flush once per commit window instead of per
+        # durable record, so a burst of results shares one write (and,
+        # batched into ``emits`` records, one framing).  A crash at an
+        # event boundary inside the window merely un-acks the burst,
+        # which recovery then re-emits (exactness holds by construction
+        # — "acked" is what the flushed WAL says).  The window bounds
+        # ack latency in *virtual* time only; no wall clock is traded
+        # away.
+        self._commit_scheduled = True
+        self.engine.simulator.schedule(
+            self.commit_latency, self._group_commit, label="recovery:commit"
+        )
+
+    def _group_commit(self) -> None:
+        self._commit_scheduled = False
+        if not self._closed:
+            self.wal.flush()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _checkpoint_tick(self) -> None:
+        self.take_checkpoint()
+        # Re-arm only while the run still has work: an unconditional
+        # reschedule would keep the simulator from ever quiescing.
+        if self.engine.simulator.pending_events > 0 and self.interval is not None:
+            self.engine.simulator.schedule(
+                self.interval, self._checkpoint_tick, label="recovery:checkpoint"
+            )
+
+    def take_checkpoint(self) -> str:
+        """Fold the engine's full recoverable state into a new snapshot.
+
+        One synchronous event on the simulator — routing resumes right
+        after, so a checkpoint never blocks the dataflow for more than the
+        single event boundary it occupies.  The WAL is flushed first so the
+        snapshot's ``wal_position`` cut is on durable ground.
+        """
+        if self._closed:
+            raise ExecutionError("the durability manager is closed")
+        started = _time.perf_counter()
+        self.wal.flush()
+        tables = []
+        for table, stem in sorted(self.engine.registry.stems.items()):
+            schema = stem.row_schema
+            scan_complete, eot_keys = stem.coverage_state()
+            tables.append(
+                {
+                    "t": table,
+                    "aliases": list(stem.aliases),
+                    "join": list(stem.join_columns),
+                    "schema": None if schema is None else encode_schema(schema),
+                    "rows": [
+                        [encode_row(row), timestamp]
+                        for row, timestamp in stem.state_entries()
+                    ],
+                    "coverage": encode_coverage(scan_complete, eot_keys),
+                }
+            )
+        state = {
+            "kind": "repro-snapshot",
+            "version": 1,
+            "wal_gen": self.generation,
+            "wal_position": self.wal.position,
+            "next_timestamp": self.engine.next_build_timestamp,
+            "tables": tables,
+            "admissions": [
+                {
+                    "q": a.query_id,
+                    "sql": a.sql,
+                    "policy": a.policy,
+                    "at": a.arrival_time,
+                    "ok": a.recoverable,
+                }
+                for a in self._admissions
+            ],
+            "retired": dict(self._retire_times),
+            "emitted": {q: dict(counts) for q, counts in self._emitted.items()},
+        }
+        path = self.snapshots.write(state)
+        self.stats["checkpoints"] += 1
+        self.stats["checkpoint_wall_seconds"] += _time.perf_counter() - started
+        self.stats["last_snapshot_bytes"] = os.path.getsize(path)
+        return path
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, final_checkpoint: bool = True) -> None:
+        """Clean shutdown: final snapshot (cheap resume) and WAL close."""
+        if self._closed:
+            return
+        if final_checkpoint:
+            self.take_checkpoint()
+        self.wal.close()
+        self._closed = True
+
+    def simulate_crash(self) -> int:
+        """Crash the durability layer: drop unflushed WAL records, close.
+
+        Returns the number of buffered records lost — exactly what a real
+        crash at this instant would lose.
+        """
+        self._closed = True
+        return self.wal.simulate_crash()
+
+
+# -- recovery ----------------------------------------------------------------------
+
+
+def recover_state(directory: str) -> RecoveredState:
+    """Read a checkpoint directory back into a :class:`RecoveredState`.
+
+    Latest valid snapshot (torn generations skipped) plus replay of every
+    WAL record after its cut, torn tails truncated.
+    """
+    snapshots = SnapshotStore(directory)
+    state = RecoveredState(directory=directory)
+    snapshot = snapshots.load_latest()
+    state.torn_snapshots = snapshots.stats["torn_detected"]
+    cut_generation = 0
+    cut_position = 0
+    if snapshot is not None:
+        cut_generation = int(snapshot["wal_gen"])
+        cut_position = int(snapshot["wal_position"])
+        state.snapshot_seq = int(snapshot["snapshot_seq"])
+        state.next_timestamp = int(snapshot["next_timestamp"])
+        for encoded in snapshot["tables"]:
+            table = encoded["t"]
+            recovered = RecoveredTable(
+                table=table,
+                aliases=tuple(encoded["aliases"]),
+                join_columns=tuple(encoded["join"]),
+                schema=(
+                    None
+                    if encoded["schema"] is None
+                    else decode_schema(encoded["schema"])
+                ),
+            )
+            for encoded_row, timestamp in encoded["rows"]:
+                row = decode_row(encoded_row, table, recovered.schema)
+                recovered.rows[_row_key(encoded_row)] = (row, float(timestamp))
+            scan_complete, eot_keys = decode_coverage(encoded["coverage"])
+            recovered.scan_complete = scan_complete
+            recovered.eot_keys = eot_keys
+            state.tables[table] = recovered
+        for entry in snapshot["admissions"]:
+            state.admissions.append(
+                RecoveredAdmission(
+                    query_id=entry["q"],
+                    sql=entry["sql"],
+                    policy=entry["policy"],
+                    arrival_time=float(entry["at"]),
+                    recoverable=bool(entry["ok"]),
+                )
+            )
+        state.retired = {q: float(t) for q, t in snapshot["retired"].items()}
+        state.emitted = {
+            q: {key: int(count) for key, count in counts.items()}
+            for q, counts in snapshot["emitted"].items()
+        }
+    for generation, path in wal_generations(directory):
+        if generation < cut_generation:
+            continue
+        records, torn = replay_wal_file(path)
+        state.torn_wal_records += torn
+        start = cut_position if generation == cut_generation else 0
+        for record in records[start:]:
+            _apply_wal_record(state, record)
+            state.wal_records_applied += 1
+    return state
+
+
+def _row_key(encoded_row: dict) -> str:
+    return canonical_json(encoded_row["v"])
+
+
+def _apply_wal_record(state: RecoveredState, record: dict) -> None:
+    kind = record.get("k")
+    if kind == "stem":
+        table = record["t"]
+        recovered = state.tables.get(table)
+        if recovered is None:
+            state.tables[table] = RecoveredTable(
+                table=table,
+                aliases=tuple(record["aliases"]),
+                join_columns=tuple(record["join"]),
+            )
+        else:
+            for alias in record["aliases"]:
+                if alias not in recovered.aliases:
+                    recovered.aliases = recovered.aliases + (alias,)
+            for column in record["join"]:
+                if column not in recovered.join_columns:
+                    recovered.join_columns = recovered.join_columns + (column,)
+    elif kind == "schema":
+        recovered = _require_table(state, record["t"])
+        recovered.schema = decode_schema(record["s"])
+    elif kind == "build":
+        timestamp = float(record["ts"])
+        if timestamp >= state.next_timestamp:
+            state.next_timestamp = int(timestamp) + 1
+        if record.get("d"):
+            return
+        recovered = _require_table(state, record["t"])
+        if recovered.schema is None:
+            raise ExecutionError(
+                f"WAL build record for {record['t']!r} precedes its schema"
+            )
+        row = decode_row(record["r"], record["t"], recovered.schema)
+        recovered.rows[_row_key(record["r"])] = (row, timestamp)
+    elif kind == "evict":
+        recovered = _require_table(state, record["t"])
+        recovered.rows.pop(_row_key(record["r"]), None)
+        # Mirrors SteM.evict: dropped data invalidates coverage.
+        recovered.scan_complete.clear()
+        recovered.eot_keys.clear()
+    elif kind == "eot":
+        recovered = _require_table(state, record["t"])
+        if record["scan"]:
+            recovered.scan_complete.add(record["am"])
+        else:
+            recovered.eot_keys.setdefault(tuple(record["cols"]), set()).add(
+                decode_value(record["vals"])
+            )
+    elif kind == "admit":
+        state.admissions.append(
+            RecoveredAdmission(
+                query_id=record["q"],
+                sql=record["sql"],
+                policy=record["policy"],
+                arrival_time=float(record["at"]),
+                recoverable=bool(record["ok"]),
+            )
+        )
+    elif kind == "retire":
+        state.retired[record["q"]] = float(record["at"])
+    elif kind == "emit":
+        bucket = state.emitted.setdefault(record["q"], {})
+        key = record["id"]
+        bucket[key] = bucket.get(key, 0) + 1
+    elif kind == "emits":
+        bucket = state.emitted.setdefault(record["q"], {})
+        for key in record["ids"]:
+            bucket[key] = bucket.get(key, 0) + 1
+    else:
+        raise ExecutionError(f"unknown WAL record kind {kind!r}")
+
+
+def _require_table(state: RecoveredState, table: str) -> RecoveredTable:
+    recovered = state.tables.get(table)
+    if recovered is None:
+        raise ExecutionError(
+            f"WAL record references table {table!r} before its stem record"
+        )
+    return recovered
+
+
+def restore_engine(
+    source: RecoveredState | str,
+    catalog,
+    mode: str = "replay",
+    churn_events: Sequence[ChurnEvent] = (),
+    **engine_kwargs,
+) -> MultiQueryEngine:
+    """Rebuild a runnable engine from recovered state (see module docstring).
+
+    Args:
+        source: a :class:`RecoveredState` or a checkpoint directory path.
+        catalog: the catalog the original engine ran against (sources are
+            re-streamed from it; the data plane itself is not checkpointed).
+        mode: ``"replay"`` (crash recovery: full re-run from virtual time
+            zero, retired queries re-admitted, retirements re-scheduled,
+            counter reset, coverage redeveloped, acked results suppressed)
+            or ``"resume"`` (service restart: full state incl. coverage,
+            counter continued, active queries only).
+        churn_events: in replay mode, the portion of the original churn
+            schedule not yet reflected in the log — admissions/retirements
+            the crashed run never reached.  Events whose query id the log
+            already recorded (for the same action) are skipped.
+        engine_kwargs: engine configuration, which must match the original
+            run's for replay identity (batch size, shards, policies come
+            from the admissions themselves).
+    """
+    if mode not in ("replay", "resume"):
+        raise ExecutionError(f"unknown restore mode {mode!r}")
+    state = source if isinstance(source, RecoveredState) else recover_state(source)
+    engine = MultiQueryEngine(
+        [],
+        catalog,
+        continuous=True,
+        timestamp_start=1 if mode == "replay" else state.next_timestamp,
+        **engine_kwargs,
+    )
+    if engine.registry is None:
+        raise ExecutionError("restore requires shared SteMs (shared_stems=True)")
+    for recovered in state.tables.values():
+        aliases = recovered.aliases or (recovered.table,)
+        stem = engine.registry.stem_for(
+            recovered.table, aliases[0], recovered.join_columns
+        )
+        for alias in aliases[1:]:
+            stem.add_alias(alias)
+        for row, timestamp in recovered.ordered_rows():
+            stem.build(row, timestamp)
+        if mode == "resume":
+            stem.restore_coverage(recovered.scan_complete, recovered.eot_keys)
+    for admission in state.admissions:
+        if mode == "resume" and admission.query_id in state.retired:
+            continue
+        if not admission.recoverable or admission.sql is None:
+            raise ExecutionError(
+                f"admission {admission.query_id!r} was logged as "
+                "unrecoverable (preferences or a non-SQL-expressible query); "
+                "it cannot be restored"
+            )
+        engine.admit(
+            QueryAdmission(
+                query=admission.sql,
+                query_id=admission.query_id,
+                policy=admission.policy,
+                arrival_time=admission.arrival_time if mode == "replay" else 0.0,
+            )
+        )
+        acked = state.emitted_counts(admission.query_id)
+        if acked:
+            engine.eddy_of(admission.query_id).emit_filter = _make_emit_filter(acked)
+    if mode == "replay":
+        for query_id, at in sorted(state.retired.items(), key=lambda kv: kv[1]):
+            engine.simulator.schedule_at(
+                at,
+                lambda q=query_id: engine.retire(q),
+                label=f"recover:retire:{query_id}",
+            )
+        if churn_events:
+            logged_admits = {a.query_id for a in state.admissions}
+            remaining = [
+                event
+                for event in churn_events
+                if not (
+                    (
+                        event.action == "admit"
+                        and event.admission is not None
+                        and event.admission.query_id in logged_admits
+                    )
+                    or (event.action == "retire" and event.query_id in state.retired)
+                )
+            ]
+            engine.schedule_churn(remaining)
+    return engine

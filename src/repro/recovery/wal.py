@@ -1,0 +1,288 @@
+"""The append-only write-ahead log of engine state changes.
+
+One WAL file per engine incarnation (``wal-<generation>.log`` inside the
+checkpoint directory), one CRC-framed JSON record per line (see
+:mod:`repro.recovery.codec`).  Record kinds:
+
+=========  ====================================================================
+``build``  a row built into a shared SteM (non-duplicates only — a duplicate
+           build changes no recoverable state)
+``evict``  a row evicted from a shared SteM
+``eot``    an EOT built into a shared SteM (scan seal or index-key coverage)
+``admit``  a query admitted (SQL text, policy name, arrival time)
+``retire`` a query retired (virtual time)
+``emit``   a result durably acknowledged to a query's output (its identity)
+``emits``  a group-commit window's acknowledgements for one query, batched
+           (identity keys in ack order; written only under group commit)
+=========  ====================================================================
+
+**Tiered durability.**  ``emit``/``admit``/``retire`` records are *durable*:
+losing one would violate exactly-once (a re-emitted duplicate) or lose a
+query, so they define the ack frontier.  ``admit``/``retire`` flush inline.
+Emits — the hot stream — either flush inline or, under ``group_commit``,
+wait for one shared flush per commit window (the owner schedules it; see
+:class:`~repro.recovery.manager.CheckpointManager.commit_latency`), batched
+into ``emits`` records.  "Acked" *is defined by the flushed WAL*, so the
+window never breaks exactness: a crash inside it un-acks the burst and
+recovery re-emits it.  Bulk ``build``/``evict``/``eot`` traffic is buffered
+and group-flushed every ``flush_every`` records — losing the unflushed tail
+is *safe*: replay-mode recovery rebuilds those rows by re-running the
+sources, and resume-mode recovery simply restarts from slightly older
+state.  The class keeps its own buffer (rather than relying on the file
+object's) so a simulated crash can honestly drop exactly the records a real
+crash would lose.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterator
+
+from repro.errors import ExecutionError
+from repro.recovery.codec import frame_record_bytes, parse_record
+
+__all__ = ["WriteAheadLog", "replay_wal_file", "wal_generations"]
+
+#: Record kinds that must hit the OS before the append returns.
+DURABLE_KINDS = frozenset({"emit", "admit", "retire"})
+
+
+def wal_generations(directory: str) -> list[tuple[int, str]]:
+    """``(generation, path)`` of every WAL file in the directory, ascending."""
+    found: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if name.startswith("wal-") and name.endswith(".log"):
+            try:
+                generation = int(name[4:-4])
+            except ValueError:
+                continue
+            found.append((generation, os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def replay_wal_file(path: str) -> tuple[list[dict], int]:
+    """Parse every intact record of one WAL file, truncating a torn tail.
+
+    Returns ``(records, torn)`` where ``torn`` counts trailing lines that
+    failed framing (a crash mid-append leaves at most a partial final line;
+    anything unparseable *after* the last good record is treated as torn and
+    dropped — records never follow a torn line, because appends are
+    sequential).
+    """
+    records: list[dict] = []
+    torn = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                body = parse_record(line)
+                if body is None:
+                    torn += 1
+                    break
+                records.append(body)
+    except FileNotFoundError:
+        return [], 0
+    return records, torn
+
+
+class WriteAheadLog:
+    """One engine incarnation's append-only log.
+
+    Args:
+        path: the WAL file (created; appending to an existing incarnation's
+            file is a protocol error — each restart opens a new generation).
+        flush_every: group-flush threshold for buffered (non-durable)
+            records.
+        group_commit: when True, durable appends do not flush inline;
+            they set :attr:`needs_commit` and the owner flushes once per
+            commit point (the engine uses a zero-virtual-delay event, so
+            every emit in the same instant shares one write).  Exactness
+            is unaffected — "acked" is *defined* by what the flushed WAL
+            holds, so a crash before the commit point simply un-acks the
+            batch and recovery re-emits it.
+    """
+
+    def __init__(self, path: str, flush_every: int = 64, group_commit: bool = False):
+        if flush_every < 1:
+            raise ExecutionError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = path
+        self.flush_every = flush_every
+        self.group_commit = group_commit
+        self._durable_pending = False
+        # A raw descriptor: flushes are one os.write each, skipping the
+        # TextIOWrapper/BufferedWriter layers on the durable hot path.
+        self._fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        #: Records appended but not yet flushed — exactly what a crash loses.
+        self._buffer: list[bytes] = []
+        #: Latest unmaterialized duplicate-build tick ``(table, ts)``.
+        self._pending_tick: tuple[str, float] | None = None
+        #: Unmaterialized acknowledgements ``(query_id, identity key)``
+        #: awaiting the group-commit flush (see :meth:`log_emit`).
+        self._pending_emits: list[tuple[str, str]] = []
+        #: Count of records durably on disk (the snapshot's ``wal_position``).
+        self.flushed_records = 0
+        #: Total records appended this incarnation (flushed + buffered).
+        self.appended_records = 0
+        self.stats: dict[str, int] = {"flushes": 0, "durable_appends": 0}
+        self._closed = False
+        self._crashed = False
+
+    # -- appending -------------------------------------------------------------
+
+    def append(self, kind: str, body: dict[str, Any], durable: bool | None = None) -> None:
+        """Append one record; flush immediately when the kind is durable.
+
+        Takes ownership of ``body``: the kind tag is written into it in
+        place rather than into a copy — every producer builds a fresh dict
+        per record, and the copy was measurable on the append hot path.
+        """
+        if self._closed:
+            raise ExecutionError(f"WAL {self.path!r} is closed")
+        body["k"] = kind
+        self._buffer.append(frame_record_bytes(body))
+        self.appended_records += 1
+        if durable is None:
+            durable = kind in DURABLE_KINDS
+        if durable:
+            self.stats["durable_appends"] += 1
+            if self.group_commit and kind == "emit":
+                # Only the hot emit stream group-commits.  ``admit`` and
+                # ``retire`` are per-query rare and flush inline: losing an
+                # un-flushed admission would lose the whole query, which no
+                # ack-latency window excuses.
+                self._durable_pending = True
+            else:
+                self.flush()
+        elif len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    @property
+    def needs_commit(self) -> bool:
+        """True when a durable record awaits a group-commit flush."""
+        return self._durable_pending
+
+    def log_emit(self, query_id: str, key: str) -> None:
+        """Log one acknowledged result identity.
+
+        Under group commit the ack is *not* framed per result: it queues
+        here and the next :meth:`flush` materializes one batched ``emits``
+        record per query for the whole commit window — emits are the
+        largest record class on shared-plan fleets, so this amortizes the
+        per-record framing the same way the commit window amortizes the
+        write.  Crash semantics are unchanged: a queued ack is not yet
+        flushed, hence not yet acked, and recovery re-emits it.  Without
+        group commit this is exactly ``append("emit", ...)``.
+        """
+        if self.group_commit:
+            if self._closed:
+                raise ExecutionError(f"WAL {self.path!r} is closed")
+            self._pending_emits.append((query_id, key))
+            self.stats["durable_appends"] += 1
+            self._durable_pending = True
+        else:
+            self.append("emit", {"q": query_id, "id": key})
+
+    def note_duplicate_build(self, table: str, timestamp: float) -> None:
+        """Record a duplicate-build counter tick without framing a record.
+
+        A duplicate build changes no SteM state; its only replay effect is
+        raising the monotone timestamp horizon.  Ticks arrive in timestamp
+        order, so only the *latest* unflushed tick matters — it is held
+        here and materialized as a single ``build``/``d`` record by the
+        next :meth:`flush`.  Crash semantics stay exact: a lost pending
+        tick is lost together with the (also unflushed) work that drew it,
+        and recovery re-draws the same timestamps deterministically.
+        Shared-plan workloads make most builds duplicates, so this sheds
+        the bulk of their WAL framing cost and volume.
+        """
+        if self._closed:
+            raise ExecutionError(f"WAL {self.path!r} is closed")
+        self._pending_tick = (table, timestamp)
+
+    def flush(self) -> None:
+        """Write the buffered records out and flush to the OS."""
+        if self._pending_tick is not None:
+            table, timestamp = self._pending_tick
+            self._pending_tick = None
+            self._buffer.append(
+                frame_record_bytes({"t": table, "ts": timestamp, "d": 1, "k": "build"})
+            )
+            self.appended_records += 1
+        if self._pending_emits:
+            # One record per query, identities in ack order.  Queries are
+            # independent buckets on replay, so inter-query order within
+            # the window is free.
+            per_query: dict[str, list[str]] = {}
+            for query_id, key in self._pending_emits:
+                per_query.setdefault(query_id, []).append(key)
+            self._pending_emits.clear()
+            for query_id, keys in per_query.items():
+                self._buffer.append(
+                    frame_record_bytes({"q": query_id, "ids": keys, "k": "emits"})
+                )
+                self.appended_records += 1
+        if not self._buffer:
+            return
+        os.write(self._fd, b"".join(self._buffer))
+        self.flushed_records += len(self._buffer)
+        self._buffer.clear()
+        self._durable_pending = False
+        self.stats["flushes"] += 1
+
+    @property
+    def position(self) -> int:
+        """Durable record count — what a snapshot records as its WAL cut."""
+        return self.flushed_records
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush everything and close (clean shutdown)."""
+        if self._closed:
+            return
+        self.flush()
+        os.close(self._fd)
+        self._closed = True
+
+    def simulate_crash(self) -> int:
+        """Drop the unflushed buffer and close the file abruptly.
+
+        Models a process crash for the fault-injection harness: everything
+        flushed stays on disk, everything buffered is gone.  Returns the
+        number of records lost.
+        """
+        lost = (
+            len(self._buffer)
+            + len(self._pending_emits)
+            + (1 if self._pending_tick is not None else 0)
+        )
+        self._buffer.clear()
+        self._pending_tick = None
+        self._pending_emits.clear()
+        self._durable_pending = False
+        os.close(self._fd)
+        self._closed = True
+        self._crashed = True
+        return lost
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._closed:
+            self.close()
+
+    def records(self) -> Iterator[dict]:
+        """Parse this file's intact records back (testing/inspection)."""
+        records, _ = replay_wal_file(self.path)
+        return iter(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.path!r}, flushed={self.flushed_records}, "
+            f"buffered={len(self._buffer)})"
+        )

@@ -39,6 +39,11 @@ class Simulator:
         self.max_events = max_events
         self.executed_events = 0
         self._running = False
+        #: Fault hook: called after every executed event with the event
+        #: just completed.  The crash-injection harness raises from here to
+        #: kill the run at an exact event boundary — engine state is left
+        #: frozen mid-flight, exactly like a process crash between events.
+        self.after_event_hook: Callable[[Event], None] | None = None
 
     # -- scheduling -----------------------------------------------------------
 
@@ -91,6 +96,9 @@ class Simulator:
         if self.trace is not None:
             self.trace.record(self.now, "event", event.label)
         event.callback()
+        hook = self.after_event_hook
+        if hook is not None:
+            hook(event)
         return True
 
     def run(self, until: float | None = None) -> float:

@@ -106,6 +106,19 @@ class IndexSpec(AccessMethodSpec):
         matches_per_probe: optional cap on matches returned per lookup.
         cache_results: unused by the AM itself (SteMs do the caching), kept
             for describing sources whose service already caches.
+        failure_rate: probability each lookup *attempt* fails (a flaky
+            remote source); 0 disables the fault branch entirely.
+        failure_seed: RNG seed for the attempt-failure draws.
+        max_retries: extra attempts after a failed or timed-out lookup
+            before the AM abandons the key (its matches stay unclaimed and
+            the probe's coverage never seals — degraded completion, not a
+            wedge; a later probe on the same key starts over).
+        retry_backoff: base of the exponential retry backoff — attempt
+            ``n`` waits ``retry_backoff * 2**(n-1)`` virtual seconds before
+            reissuing; 0 retries immediately.
+        lookup_timeout: per-attempt deadline in virtual seconds; an attempt
+            whose (latency + outage) completion would land past it is
+            declared timed out *at* the deadline and retried.
     """
 
     columns: tuple[str, ...] = ()
@@ -116,6 +129,11 @@ class IndexSpec(AccessMethodSpec):
     concurrency: int = 1
     matches_per_probe: int | None = None
     cache_results: bool = False
+    failure_rate: float = 0.0
+    failure_seed: int = 0
+    max_retries: int = 3
+    retry_backoff: float = 0.0
+    lookup_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -126,6 +144,26 @@ class IndexSpec(AccessMethodSpec):
             raise CatalogError(
                 f"index AM {self.name!r} latency_model must be 'constant' or "
                 f"'exponential', got {self.latency_model!r}"
+            )
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise CatalogError(
+                f"index AM {self.name!r} failure_rate must be within [0, 1], "
+                f"got {self.failure_rate}"
+            )
+        if self.max_retries < 0:
+            raise CatalogError(
+                f"index AM {self.name!r} max_retries must be >= 0, "
+                f"got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise CatalogError(
+                f"index AM {self.name!r} retry_backoff must be >= 0, "
+                f"got {self.retry_backoff}"
+            )
+        if self.lookup_timeout is not None and self.lookup_timeout <= 0:
+            raise CatalogError(
+                f"index AM {self.name!r} lookup_timeout must be > 0, "
+                f"got {self.lookup_timeout}"
             )
 
     @property
@@ -235,6 +273,11 @@ class Catalog:
         stalls: Sequence[tuple[float, float]] = (),
         concurrency: int = 1,
         matches_per_probe: int | None = None,
+        failure_rate: float = 0.0,
+        failure_seed: int = 0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.0,
+        lookup_timeout: float | None = None,
     ) -> IndexSpec:
         """Declare an index access method on a table."""
         self._require(table)
@@ -255,6 +298,11 @@ class Catalog:
             stalls=tuple((float(s), float(d)) for s, d in stalls),
             concurrency=concurrency,
             matches_per_probe=matches_per_probe,
+            failure_rate=failure_rate,
+            failure_seed=failure_seed,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            lookup_timeout=lookup_timeout,
         )
         # Make sure the underlying table can answer the lookups efficiently.
         table_obj.create_index(columns, kind="hash")

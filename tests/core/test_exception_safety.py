@@ -1,0 +1,228 @@
+"""Exception safety of the eddy modules and shard-pool lifecycle.
+
+Two failure-hardening contracts ride with the durability layer:
+
+* Module stats commit only after a service succeeds, and a raising user
+  predicate (or unhashable poison value) is quarantined through the
+  runtime — never silently counted, never allowed to wedge the run.
+  Wiring errors (:class:`~repro.errors.ExecutionError`) are engine bugs
+  and must still propagate.
+* The process-wide shard pool is explicitly shut-downable (and registered
+  with atexit), rebuilt lazily, and never kept alive by dead references.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core.modules.selection import SelectionModule
+from repro.core.modules.stem_module import SteMModule
+from repro.core.partition import (
+    configure_shard_pool,
+    shard_pool,
+    shutdown_shard_pool,
+)
+from repro.core.stem import SteM
+from repro.core.tuples import singleton_tuple
+from repro.errors import ExecutionError
+from repro.query.parser import parse_query
+from repro.query.predicates import Predicate
+from repro.sim.simulator import Simulator
+from repro.storage.datagen import make_source_s
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+
+
+class BareRuntime:
+    """Minimal runtime WITHOUT a quarantine hook: errors must propagate."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.delivered = []
+        self._timestamps = iter(range(1, 100000))
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    def schedule(self, delay, callback, label=""):
+        self.sim.schedule(delay, callback, label)
+
+    def to_eddy(self, item, source=None):
+        self.delivered.append(item)
+
+    def next_timestamp(self):
+        return float(next(self._timestamps))
+
+    def has_scan_am(self, alias):
+        return False
+
+    def notify_idle(self, module):
+        pass
+
+
+class QuarantineRuntime(BareRuntime):
+    """Runtime with a quarantine hook capturing trapped tuples."""
+
+    def __init__(self):
+        super().__init__()
+        self.trapped = []
+
+    def quarantine_tuple(self, tuple_, module, error):
+        self.trapped.append((tuple_, module, error))
+
+
+class Bomb(Predicate):
+    """Raises on evaluation — a poisonous user predicate."""
+
+    def aliases(self):
+        return frozenset({"R", "S"})
+
+    def evaluate(self, components):
+        raise ValueError("poison")
+
+    def __str__(self):
+        return "bomb(R, S)"
+
+
+def r_tuple(key=1, a=10):
+    return singleton_tuple("R", Row("R", R_SCHEMA, (key, a)))
+
+
+class TestSelectionExceptionSafety:
+    def test_raising_predicate_quarantined(self):
+        runtime = QuarantineRuntime()
+        module = SelectionModule(Bomb())
+        module.attach(runtime)
+        item = r_tuple()
+        assert module.process(item) == []
+        ((trapped, module_name, error),) = runtime.trapped
+        assert trapped is item
+        assert module_name == module.name
+        assert isinstance(error, ValueError)
+        # Selectivity accounting saw neither a pass nor a drop.
+        assert module.stats["passed"] == 0 and module.stats["dropped"] == 0
+
+    def test_without_quarantine_hook_raises(self):
+        module = SelectionModule(Bomb())
+        module.attach(BareRuntime())
+        with pytest.raises(ValueError, match="poison"):
+            module.process(r_tuple())
+
+
+class TestSteMModuleExceptionSafety:
+    def make_module(self, runtime, predicates=None):
+        query = parse_query("SELECT * FROM R, S WHERE R.a = S.x")
+        stem = SteM("S", aliases=("S",), join_columns=("x",))
+        module = SteMModule(
+            stem,
+            query.predicates if predicates is None else predicates,
+            compiled_probes=False,
+        )
+        module.attach(runtime)
+        return module
+
+    def test_unhashable_build_value_quarantined_stats_untouched(self):
+        runtime = QuarantineRuntime()
+        module = self.make_module(runtime)
+        schema = Schema.of("x:int", "y:int")
+        poison = singleton_tuple("S", Row("S", schema, ([1, 2], 0)))
+        assert module.process(poison) == []
+        assert len(runtime.trapped) == 1
+        assert module.stats["builds"] == 0
+        assert module.size == 0
+
+    def test_raising_probe_predicate_quarantined_stats_untouched(self):
+        runtime = QuarantineRuntime()
+        module = self.make_module(runtime, predicates=(Bomb(),))
+        module.process(singleton_tuple("S", make_source_s(10).rows[4]))
+        assert module.stats["builds"] == 1
+        probe = r_tuple(a=4)
+        probe.mark_built("R", 100.0)
+        assert module.process(probe) == []
+        assert len(runtime.trapped) == 1
+        assert module.stats["probes"] == 0
+        assert module.stats["results"] == 0
+        # The SteM's own counters committed nothing for the failed probe.
+        assert module.stem.stats["probes"] == 0
+
+    def test_execution_error_is_never_trapped(self):
+        runtime = QuarantineRuntime()
+        module = self.make_module(runtime)
+
+        def broken_build(row, timestamp):
+            raise ExecutionError("wiring bug")
+
+        module.stem.build = broken_build
+        with pytest.raises(ExecutionError, match="wiring bug"):
+            module.process(singleton_tuple("S", make_source_s(5).rows[0]))
+        assert runtime.trapped == []
+
+    def test_build_without_quarantine_hook_raises(self):
+        module = self.make_module(BareRuntime())
+        schema = Schema.of("x:int", "y:int")
+        poison = singleton_tuple("S", Row("S", schema, ([1, 2], 0)))
+        with pytest.raises(TypeError):
+            module.process(poison)
+
+
+@pytest.fixture
+def pool_sandbox():
+    """Isolate pool configuration; restore the default afterwards."""
+    shutdown_shard_pool()
+    try:
+        yield
+    finally:
+        configure_shard_pool(None)
+        shutdown_shard_pool()
+
+
+class TestShardPoolLifecycle:
+    def test_shutdown_without_pool_is_a_noop(self, pool_sandbox):
+        assert shutdown_shard_pool() is False
+
+    def test_shutdown_and_lazy_rebuild(self, pool_sandbox):
+        configure_shard_pool(2)
+        first = shard_pool()
+        assert first is not None
+        assert shutdown_shard_pool() is True
+        second = shard_pool()
+        assert second is not None and second is not first
+
+    def test_reconfigure_shuts_down_old_pool(self, pool_sandbox):
+        configure_shard_pool(2)
+        old = shard_pool()
+        ref = weakref.ref(old)
+        configure_shard_pool(3)
+        del old
+        gc.collect()
+        # The resized-away executor is unreachable: no thread leak, no
+        # module-global keeping it alive.
+        assert ref() is None
+        assert shard_pool()._max_workers == 3
+
+    def test_shutdown_releases_last_reference(self, pool_sandbox):
+        configure_shard_pool(2)
+        ref = weakref.ref(shard_pool())
+        shutdown_shard_pool()
+        gc.collect()
+        assert ref() is None
+
+    def test_single_worker_never_builds_a_pool(self, pool_sandbox):
+        configure_shard_pool(1)
+        assert shard_pool() is None
+        assert shutdown_shard_pool() is False
+
+    def test_repeated_shutdown_is_idempotent(self, pool_sandbox):
+        # The atexit guard calls shutdown unconditionally; a second call
+        # (explicit teardown followed by interpreter exit) must be a no-op.
+        configure_shard_pool(2)
+        shard_pool()
+        assert shutdown_shard_pool() is True
+        assert shutdown_shard_pool() is False
+        assert shutdown_shard_pool() is False

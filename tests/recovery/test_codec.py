@@ -1,0 +1,239 @@
+"""Durable-codec exactness: values, rows, framing, query unparsing."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.parser import parse_query
+from repro.recovery.codec import (
+    decode_coverage,
+    decode_row,
+    decode_schema,
+    decode_value,
+    encode_coverage,
+    encode_row,
+    encode_schema,
+    encode_value,
+    frame_record,
+    parse_record,
+    query_to_sql,
+)
+from repro.storage.row import Row
+from repro.storage.schema import Column, DataType, Schema
+
+HOSTILE_VALUES = [
+    None,
+    0,
+    -1,
+    2**53 - 1,
+    2**53 + 1,
+    2**63,
+    -(2**63),
+    0.0,
+    -0.0,
+    1.5,
+    math.pi,
+    float("inf"),
+    float("-inf"),
+    float("nan"),
+    5e-324,  # smallest subnormal double
+    1.7976931348979157e308,
+    True,
+    False,
+    "",
+    "text",
+    "sp ace\tand\nnewline",
+    "ünïcödé ✓",
+    b"",
+    b"\x00\xff\x10",
+    (),
+    (1, "two", 3.0),
+    ((1, 2), (None, (True, b"x"))),
+]
+
+
+def canonical(value) -> str:
+    return json.dumps(
+        encode_value(value), separators=(",", ":"), sort_keys=True
+    )
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", HOSTILE_VALUES, ids=repr)
+    def test_round_trip_exact(self, value):
+        restored = decode_value(json.loads(canonical(value)))
+        assert type(restored) is type(value) if not isinstance(value, tuple) else True
+        if isinstance(value, float) and math.isnan(value):
+            assert math.isnan(restored)
+        else:
+            assert restored == value
+        # lists come back as tuples (row values are tuples)
+        if isinstance(value, tuple):
+            assert isinstance(restored, tuple)
+
+    def test_list_decodes_to_tuple(self):
+        assert decode_value(encode_value([1, 2])) == (1, 2)
+
+    def test_negative_zero_sign_survives(self):
+        assert math.copysign(1.0, decode_value(encode_value(-0.0))) == -1.0
+        assert math.copysign(1.0, decode_value(encode_value(0.0))) == 1.0
+
+    def test_bool_does_not_collapse_to_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert type(decode_value(encode_value(1))) is int
+
+    def test_big_ints_are_exact(self):
+        for value in (2**53 + 1, -(2**63) - 7, 10**30):
+            assert decode_value(json.loads(canonical(value))) == value
+
+    def test_repr_float_never_routed_through_fromhex(self):
+        # "1.5" read as hex would be 1.3125 — the decode guard must route
+        # repr-form text through float(), not float.fromhex().
+        assert decode_value(["f", "1.5"]) == 1.5
+
+    def test_nan_identities_compare_equal_as_text(self):
+        assert canonical((float("nan"), 1)) == canonical((float("nan"), 1))
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ExecutionError):
+            encode_value(object())
+        with pytest.raises(ExecutionError):
+            encode_value({"dict": 1})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ExecutionError):
+            decode_value(["?", 1])
+
+
+class TestRowAndSchema:
+    def make_schema(self):
+        return Schema(
+            [
+                Column("a", DataType.INTEGER, nullable=False),
+                Column("b", DataType.FLOAT),
+                Column("c", DataType.STRING),
+            ],
+            key=("a",),
+        )
+
+    def test_schema_round_trip(self):
+        schema = self.make_schema()
+        restored = decode_schema(encode_schema(schema))
+        assert restored.names == schema.names
+        assert restored.key == schema.key
+        assert [c.dtype for c in restored.columns] == [
+            c.dtype for c in schema.columns
+        ]
+        assert [c.nullable for c in restored.columns] == [
+            c.nullable for c in schema.columns
+        ]
+
+    def test_row_round_trip_preserves_equality_and_rid(self):
+        schema = self.make_schema()
+        row = Row("T", schema, (7, float("nan"), "x"), rid=42)
+        restored = decode_row(
+            json.loads(json.dumps(encode_row(row))), "T", schema
+        )
+        assert restored.rid == 42
+        assert restored.table == "T"
+        assert restored.values[0] == 7 and restored.values[2] == "x"
+        assert math.isnan(restored.values[1])
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        body = {"k": "build", "ts": 3, "x": ["f", "nan"]}
+        assert parse_record(frame_record(body)) == body
+
+    def test_torn_line_without_newline_rejected(self):
+        line = frame_record({"k": "emit"})
+        assert parse_record(line[:-1]) is None
+
+    def test_partial_line_rejected(self):
+        line = frame_record({"k": "emit", "payload": "x" * 100})
+        for cut in (1, 8, 9, 20, len(line) - 2):
+            assert parse_record(line[:cut]) is None
+
+    def test_corrupted_body_rejected(self):
+        line = frame_record({"k": "emit"})
+        flipped = line.replace("emit", "emIt")
+        assert parse_record(flipped) is None
+
+    def test_non_dict_body_rejected(self):
+        text = json.dumps([1, 2])
+        import zlib
+
+        crc = zlib.crc32(text.encode())
+        assert parse_record(f"{crc:08x} {text}\n") is None
+
+
+class TestCoverage:
+    def test_round_trip(self):
+        scans = {"am:R_scan:R"}
+        keys = {("key",): {(1,), (2,)}, ("a", "b"): {(1, "x")}}
+        restored_scans, restored_keys = decode_coverage(
+            json.loads(json.dumps(encode_coverage(scans, keys)))
+        )
+        assert restored_scans == scans
+        assert restored_keys == keys
+
+
+class TestQueryToSql:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM R, T WHERE R.key = T.key",
+            "SELECT * FROM R, T WHERE R.key = T.key AND R.a < 5",
+            "SELECT * FROM People AS p, Jobs AS j WHERE p.id = j.person AND j.pay >= 10.5",
+            "SELECT R.a FROM R, S WHERE R.a = S.x AND S.y IN (1, 2, 3)",
+            "SELECT * FROM R WHERE R.name = 'alice'",
+            "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key AND T.val != 0",
+        ],
+    )
+    def test_parse_unparse_fixpoint(self, sql):
+        query = parse_query(sql)
+        rendered = query_to_sql(query)
+        reparsed = parse_query(rendered)
+        assert query_to_sql(reparsed) == rendered
+        assert reparsed.alias_order == query.alias_order
+        assert {str(p) for p in reparsed.predicates} == {
+            str(p) for p in query.predicates
+        }
+        assert [str(c) for c in reparsed.projections] == [
+            str(c) for c in query.projections
+        ]
+
+    def test_rejects_unexpressible_literals(self):
+        from repro.query.expressions import ColumnRef, Literal
+        from repro.query.predicates import Comparison
+        from repro.query.query import Query, TableRef
+
+        bad = Query(
+            tables=(TableRef.of("R"),),
+            predicates=(
+                Comparison(ColumnRef("R", "a"), "=", Literal(float("nan"))),
+            ),
+            projections=(),
+        )
+        with pytest.raises(ExecutionError):
+            query_to_sql(bad)
+
+    def test_rejects_quoted_string_literal(self):
+        from repro.query.expressions import ColumnRef, Literal
+        from repro.query.predicates import Comparison
+        from repro.query.query import Query, TableRef
+
+        bad = Query(
+            tables=(TableRef.of("R"),),
+            predicates=(
+                Comparison(ColumnRef("R", "a"), "=", Literal("it's")),
+            ),
+            projections=(),
+        )
+        with pytest.raises(ExecutionError):
+            query_to_sql(bad)

@@ -1,0 +1,254 @@
+"""Crash-at-any-event-boundary recovery: the differential oracle.
+
+The contract under test (the tentpole's acceptance criterion): for a crash
+at *any* event boundary, acked-before-crash + emitted-after-restore equals
+an uninterrupted run, per query, as a multiset of result identities — no
+duplicates, no losses — across routing policies, batch sizes, and shard
+counts, with and without live churn, and with the crash landing
+mid-checkpoint (torn snapshot).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.workloads import churn_workload, staggered_fleet_workload
+from repro.engine.multi import MultiQueryEngine
+from repro.errors import ExecutionError
+from repro.recovery import (
+    CheckpointManager,
+    CrashInjector,
+    InjectedCrash,
+    crash_recovery_oracle,
+    recover_state,
+    restore_engine,
+)
+from repro.recovery.harness import result_identity_counts, run_reference
+
+#: Event boundaries swept by the smoke grid: one almost immediately, one
+#: mid-stream, one deep into the run (runs are a few thousand events).
+BOUNDARIES = (7, 150, 900)
+
+#: The CI smoke seeds (see .github/workflows/ci.yml crash-recovery leg).
+SMOKE_SEEDS = (3, 11, 29)
+
+
+def small_fleet(seed=3, policy="naive"):
+    return staggered_fleet_workload(n_queries=3, rows=60, seed=seed, policy=policy)
+
+
+class TestCrashRecoveryOracle:
+    @pytest.mark.parametrize("policy", ["naive", "lottery", "benefit"])
+    @pytest.mark.parametrize("boundary", BOUNDARIES)
+    def test_policies_boundary_sweep(self, tmp_path, policy, boundary):
+        workload = small_fleet(policy=policy)
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            boundary,
+            checkpoint_interval=5.0,
+        )
+        assert report["crashed"]
+        assert report["passed"], report["mismatches"]
+        combined = report["pre_crash_emitted"] + report["post_restore_emitted"]
+        assert combined == report["reference_emitted"] > 0
+        # Everything acked pre-crash was suppressed, not re-emitted.
+        assert report["suppressed_emits"] == report["pre_crash_emitted"]
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_batch_and_shard_grid(self, tmp_path, batch_size, shards):
+        workload = small_fleet(policy="lottery")
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            400,
+            checkpoint_interval=5.0,
+            batch_size=batch_size,
+            shards=shards,
+        )
+        assert report["crashed"]
+        assert report["passed"], report["mismatches"]
+
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_smoke_seeds(self, tmp_path, seed):
+        workload = small_fleet(seed=seed)
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            250,
+            checkpoint_interval=4.0,
+        )
+        assert report["crashed"] and report["passed"], report["mismatches"]
+
+    def test_churn_crash_replays_remaining_schedule(self, tmp_path):
+        workload = churn_workload(
+            duration=25.0, arrival_rate=0.3, rows=80, seed=5
+        )
+        report = crash_recovery_oracle(
+            [],
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            600,
+            churn_events=workload.events,
+            checkpoint_interval=4.0,
+        )
+        assert report["crashed"]
+        assert report["passed"], report["mismatches"]
+        assert report["pre_crash_emitted"] > 0
+
+    def test_crash_mid_checkpoint_torn_snapshot_falls_back(self, tmp_path):
+        workload = small_fleet()
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            700,
+            checkpoint_interval=3.0,
+            tear_final_snapshot=True,
+        )
+        assert report["crashed"]
+        # The torn generation was detected and skipped...
+        assert report["torn_snapshots"] == 1
+        # ...and recovery from the previous generation still satisfies the
+        # oracle exactly.
+        assert report["passed"], report["mismatches"]
+
+    def test_wal_only_recovery_without_any_checkpoint(self, tmp_path):
+        workload = small_fleet()
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            500,
+            checkpoint_interval=None,  # no periodic snapshots at all
+        )
+        assert report["crashed"]
+        assert report["snapshot_seq"] is None
+        assert report["wal_records_applied"] > 0
+        assert report["passed"], report["mismatches"]
+
+    def test_boundary_past_end_means_clean_run(self, tmp_path):
+        workload = small_fleet()
+        report = crash_recovery_oracle(
+            workload.admissions,
+            workload.catalog,
+            str(tmp_path / "ckpt"),
+            10**9,
+            checkpoint_interval=5.0,
+        )
+        assert not report["crashed"]
+        # Everything was acked; the replay emits nothing new.
+        assert report["post_restore_emitted"] == 0
+        assert report["passed"], report["mismatches"]
+
+
+class TestResumeMode:
+    def test_clean_restart_continues_exactly_once(self, tmp_path):
+        workload = small_fleet()
+        _, reference = run_reference(workload.admissions, workload.catalog)
+
+        engine = MultiQueryEngine(
+            list(workload.admissions), workload.catalog, continuous=True
+        )
+        manager = CheckpointManager.attach(
+            engine, str(tmp_path / "ckpt"), interval=2.0
+        )
+        engine.run(until=6.0)  # stop mid-flight
+        manager.close()  # clean shutdown: final checkpoint
+
+        state = recover_state(str(tmp_path / "ckpt"))
+        pre = {q: Counter(state.emitted_counts(q)) for q in state.emitted}
+        assert sum(sum(c.values()) for c in pre.values()) > 0
+
+        resumed = restore_engine(state, workload.catalog, mode="resume")
+        result = resumed.run()
+        post = result_identity_counts(result)
+
+        for query_id in set(reference) | set(pre) | set(post):
+            combined = pre.get(query_id, Counter()) + post.get(
+                query_id, Counter()
+            )
+            assert combined == reference.get(query_id, Counter()), query_id
+
+    def test_resume_restores_state_and_counter(self, tmp_path):
+        workload = small_fleet()
+        engine = MultiQueryEngine(
+            list(workload.admissions), workload.catalog, continuous=True
+        )
+        manager = CheckpointManager.attach(engine, str(tmp_path / "ckpt"))
+        engine.run(until=8.0)
+        counter_at_close = engine.next_build_timestamp
+        stored = {
+            table: dict(
+                (row, ts) for row, ts in stem.state_entries()
+            )
+            for table, stem in engine.registry.stems.items()
+        }
+        coverage = {
+            table: stem.coverage_state()
+            for table, stem in engine.registry.stems.items()
+        }
+        manager.close()
+
+        state = recover_state(str(tmp_path / "ckpt"))
+        assert state.next_timestamp == counter_at_close
+        resumed = restore_engine(state, workload.catalog, mode="resume")
+        assert resumed.next_build_timestamp == counter_at_close
+        for table, rows in stored.items():
+            restored_stem = resumed.registry.stems[table]
+            restored_rows = dict(restored_stem.state_entries())
+            assert restored_rows == rows
+            # Coverage (scan seals + per-key EOTs) carried over byte-for-byte.
+            assert restored_stem.coverage_state() == coverage[table]
+
+    def test_resume_skips_retired_queries(self, tmp_path):
+        workload = churn_workload(
+            duration=20.0, arrival_rate=0.4, rows=60, seed=7
+        )
+        engine = MultiQueryEngine([], workload.catalog, continuous=True)
+        engine.schedule_churn(workload.events)
+        manager = CheckpointManager.attach(engine, str(tmp_path / "ckpt"))
+        engine.run()
+        manager.close()
+
+        state = recover_state(str(tmp_path / "ckpt"))
+        assert state.retired  # the workload actually retired queries
+        resumed = restore_engine(state, workload.catalog, mode="resume")
+        assert set(resumed.active).isdisjoint(state.retired)
+
+
+class TestRestoreValidation:
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            restore_engine(
+                recover_state(str(tmp_path)), None, mode="sideways"
+            )
+
+    def test_checkpoint_requires_shared_stems(self, tmp_path):
+        workload = small_fleet()
+        engine = MultiQueryEngine(
+            list(workload.admissions),
+            workload.catalog,
+            shared_stems=False,
+        )
+        with pytest.raises(ExecutionError, match="shared"):
+            CheckpointManager.attach(engine, str(tmp_path / "ckpt"))
+
+    def test_injector_validates_boundary_and_double_arm(self):
+        workload = small_fleet()
+        engine = MultiQueryEngine(
+            list(workload.admissions), workload.catalog
+        )
+        with pytest.raises(ExecutionError):
+            CrashInjector(engine.simulator, 0)
+        CrashInjector(engine.simulator, 5).arm()
+        with pytest.raises(ExecutionError):
+            CrashInjector(engine.simulator, 9).arm()
+        with pytest.raises(InjectedCrash):
+            engine.run()

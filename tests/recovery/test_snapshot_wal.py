@@ -1,0 +1,145 @@
+"""Snapshot atomicity/retention/torn fallback and WAL durability semantics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.recovery.snapshot import SnapshotStore
+from repro.recovery.wal import (
+    DURABLE_KINDS,
+    WriteAheadLog,
+    replay_wal_file,
+    wal_generations,
+)
+
+
+class TestSnapshotStore:
+    def test_write_load_round_trip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        path = store.write({"kind": "repro-snapshot", "x": [1, 2]})
+        assert os.path.exists(path)
+        loaded = SnapshotStore(str(tmp_path)).load_latest()
+        assert loaded["x"] == [1, 2]
+        assert loaded["snapshot_seq"] == 1
+
+    def test_sequences_increment_and_retention_prunes(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), retain=2)
+        for i in range(5):
+            store.write({"i": i})
+        generations = store.generations()
+        assert [seq for seq, _ in generations] == [4, 5]
+        assert store.load_latest()["i"] == 4
+
+    def test_retention_floor(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            SnapshotStore(str(tmp_path), retain=1)
+
+    def test_no_snapshot_returns_none(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).load_latest() is None
+
+    def test_torn_newest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write({"i": "good"})
+        store.write({"i": "torn"}, torn_bytes=25)
+        reader = SnapshotStore(str(tmp_path))
+        loaded = reader.load_latest()
+        assert loaded["i"] == "good"
+        assert reader.stats["torn_detected"] == 1
+
+    def test_everything_torn_returns_none(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write({"i": 1}, torn_bytes=10)
+        reader = SnapshotStore(str(tmp_path))
+        assert reader.load_latest() is None
+        assert reader.stats["torn_detected"] == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write({"i": 1})
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "snapshot-notanum.snap").write_text("junk")
+        (tmp_path / "other.txt").write_text("junk")
+        store = SnapshotStore(str(tmp_path))
+        assert store.generations() == []
+        assert store.next_sequence() == 1
+
+
+class TestWriteAheadLog:
+    def test_durable_kinds_flush_immediately(self, tmp_path):
+        path = str(tmp_path / "wal-000001.log")
+        wal = WriteAheadLog(path, flush_every=1000)
+        wal.append("build", {"x": 1})
+        assert wal.position == 0  # buffered
+        wal.append("emit", {"q": "q0", "id": "k"})
+        assert wal.position == 2  # durable append flushed everything before it
+        assert wal.stats["durable_appends"] == 1
+        wal.close()
+        records, torn = replay_wal_file(path)
+        assert torn == 0
+        assert [r["k"] for r in records] == ["build", "emit"]
+
+    def test_group_flush_threshold(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal-000001.log"), flush_every=4)
+        for i in range(3):
+            wal.append("build", {"i": i})
+        assert wal.position == 0
+        wal.append("build", {"i": 3})
+        assert wal.position == 4
+        wal.close()
+
+    def test_simulated_crash_drops_exactly_the_buffer(self, tmp_path):
+        path = str(tmp_path / "wal-000001.log")
+        wal = WriteAheadLog(path, flush_every=100)
+        wal.append("admit", {"q": "q0"})  # durable
+        for i in range(5):
+            wal.append("build", {"i": i})  # buffered
+        lost = wal.simulate_crash()
+        assert lost == 5
+        records, _ = replay_wal_file(path)
+        assert [r["k"] for r in records] == ["admit"]
+        with pytest.raises(ExecutionError):
+            wal.append("build", {})
+
+    def test_torn_tail_truncated_on_replay(self, tmp_path):
+        path = str(tmp_path / "wal-000001.log")
+        wal = WriteAheadLog(path, flush_every=1)
+        for i in range(4):
+            wal.append("build", {"i": i})
+        wal.close()
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.write(content[:-7])  # tear the final record
+            handle.truncate()
+        records, torn = replay_wal_file(path)
+        assert torn == 1
+        assert [r["i"] for r in records] == [0, 1, 2]
+
+    def test_generations_enumeration(self, tmp_path):
+        for gen in (3, 1, 2):
+            WriteAheadLog(str(tmp_path / f"wal-{gen:06d}.log")).close()
+        (tmp_path / "wal-junk.log").write_text("x")
+        generations = wal_generations(str(tmp_path))
+        assert [g for g, _ in generations] == [1, 2, 3]
+        assert wal_generations(str(tmp_path / "missing")) == []
+
+    def test_flush_every_floor(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            WriteAheadLog(str(tmp_path / "w.log"), flush_every=0)
+
+    def test_emission_acks_are_durable_by_contract(self):
+        # The exactly-once protocol depends on these three kinds never
+        # sitting in the buffer; losing an emit ack would re-emit a result.
+        assert {"emit", "admit", "retire"} <= set(DURABLE_KINDS)
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "wal-000001.log")
+        with WriteAheadLog(path) as wal:
+            wal.append("build", {"i": 1})
+        records, _ = replay_wal_file(path)
+        assert len(records) == 1
