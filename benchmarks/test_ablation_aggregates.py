@@ -1,0 +1,167 @@
+"""Ablation: incremental GROUP BY maintenance vs recompute-from-scratch.
+
+PR 10 hangs an :class:`~repro.core.aggregates.AggregateModule` off a SteM's
+build/evict listeners: each insertion applies a +delta, each eviction a
+-delta (with exact ``Fraction`` arithmetic for SUM/AVG and a counter
+multiset with bounded recompute for MIN/MAX), so a dashboard readout is a
+walk of the live group table instead of a pass over the window.  The claim
+measured here:
+
+* **Incremental maintenance beats recompute under churn.**  A
+  count-bounded SteM (sliding window) absorbing a long build stream with a
+  readout every ``READOUT_EVERY`` builds: maintaining the deltas and
+  reading the group table must be at least **5x** faster than recomputing
+  the aggregate from ``state_entries()`` at every readout.
+
+Byte-identity between the two strategies is asserted at every readout
+*before* anything is timed — the speedup is only meaningful if the cheap
+path returns the same bytes as the reference.
+
+The measured numbers are emitted as ``BENCH_aggregates.json`` in the repo
+root so CI runs leave a comparable artifact: ``{"benchmark", "window",
+"churn_builds", "readouts", "groups", "incremental": {"best_pass_s"},
+"recompute": {"best_pass_s"}, "speedup", "trajectory": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.aggregates import AggregateModule, AggregateState
+from repro.core.stem import SteM
+from repro.query.parser import parse_query
+from repro.recovery.codec import canonical_json, encode_value
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_aggregates.json"
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+
+#: Sliding window (count-bounded SteM) and churn stream sizes: the stream
+#: overwrites the window many times over, so most builds also evict.
+WINDOW = 3_000
+CHURN_BUILDS = 18_000
+READOUT_EVERY = 150
+GROUPS = 120
+
+QUERY = parse_query(
+    "SELECT a, count(*), sum(key), avg(key), min(key), max(key) "
+    "FROM R GROUP BY a"
+)
+
+
+def churn_rows():
+    """The deterministic build stream (key unique, group cyclic + mixed)."""
+    rows = []
+    for position in range(CHURN_BUILDS):
+        group = (position * 7919) % GROUPS
+        rows.append(Row("R", R_SCHEMA, (position, group)))
+    return rows
+
+
+def encoded(rows):
+    return canonical_json([encode_value(tuple(row)) for row in rows])
+
+
+def incremental_pass(rows):
+    """Churn through a windowed SteM with the module attached; readouts are
+    group-table walks.  Returns the per-readout encoded outputs."""
+    stem = SteM(
+        "R", aliases=("R",), join_columns=(), max_size=WINDOW, columnar=False
+    )
+    module = AggregateModule(
+        name="aggregate:R",
+        stem=stem,
+        alias="R",
+        group_by=QUERY.group_by,
+        aggregates=QUERY.aggregates,
+        predicates=QUERY.predicates,
+    )
+    module.attach()
+    outputs = []
+    for position, row in enumerate(rows):
+        stem.build(row, float(position + 1))
+        if (position + 1) % READOUT_EVERY == 0:
+            outputs.append(encoded(module.result_rows()))
+    module.detach()
+    return outputs
+
+
+def recompute_pass(rows):
+    """Same churn, but every readout recomputes from the surviving window."""
+    stem = SteM(
+        "R", aliases=("R",), join_columns=(), max_size=WINDOW, columnar=False
+    )
+    outputs = []
+    for position, row in enumerate(rows):
+        stem.build(row, float(position + 1))
+        if (position + 1) % READOUT_EVERY == 0:
+            outputs.append(
+                encoded(
+                    AggregateState.recompute(
+                        QUERY.group_by,
+                        QUERY.aggregates,
+                        (entry for entry, _ in stem.state_entries()),
+                    )
+                )
+            )
+    return outputs
+
+
+def test_incremental_vs_recompute_speedup(benchmark):
+    """Incremental maintenance >= 5x recompute-per-readout, byte-identical."""
+    rows = churn_rows()
+
+    # Byte-identity at every readout before anything is timed.
+    oracle = recompute_pass(rows)
+    assert len(oracle) == CHURN_BUILDS // READOUT_EVERY
+    assert incremental_pass(rows) == oracle
+
+    rounds = 3
+    best = {"incremental": float("inf"), "recompute": float("inf")}
+    trajectory = []
+    for round_index in range(rounds):
+        for name, strategy in (
+            ("incremental", incremental_pass),
+            ("recompute", recompute_pass),
+        ):
+            start = time.perf_counter()
+            strategy(rows)
+            elapsed = time.perf_counter() - start
+            best[name] = min(best[name], elapsed)
+            trajectory.append(
+                {"round": round_index, "strategy": name, "pass_s": elapsed}
+            )
+
+    speedup = best["recompute"] / best["incremental"]
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "aggregates_incremental_ablation",
+                "window": WINDOW,
+                "churn_builds": CHURN_BUILDS,
+                "readouts": CHURN_BUILDS // READOUT_EVERY,
+                "groups": GROUPS,
+                "rounds": rounds,
+                "incremental": {"best_pass_s": best["incremental"]},
+                "recompute": {"best_pass_s": best["recompute"]},
+                "speedup": speedup,
+                "trajectory": trajectory,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedup >= 5.0, (
+        f"incremental maintenance only {speedup:.2f}x recompute "
+        f"({best['incremental']:.4f}s vs {best['recompute']:.4f}s per pass)"
+    )
+
+    benchmark.pedantic(incremental_pass, args=(rows,), rounds=3, iterations=1)
+    benchmark.extra_info["speedup_vs_recompute"] = round(speedup, 2)
+    benchmark.extra_info["window"] = WINDOW
+    benchmark.extra_info["churn_builds"] = CHURN_BUILDS
+    benchmark.extra_info["artifact"] = ARTIFACT.name

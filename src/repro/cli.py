@@ -277,7 +277,18 @@ def _run_query(args: argparse.Namespace) -> None:
         for fraction in (0.25, 0.5, 0.75, 1.0):
             time = result.completion_time * fraction
             print(f"  t={time:8.1f}s  results={result.results_at(time)}")
-    if args.show_rows:
+    if result.is_aggregate:
+        # GROUP BY output: the incremental aggregate table, not the tuple
+        # stream (which for aggregate queries is just the build feed).
+        print("  " + " | ".join(result.aggregate_labels))
+        shown = result.aggregate_rows
+        if args.show_rows:
+            shown = shown[: args.show_rows]
+        for row in shown:
+            print("  " + " | ".join(repr(value) for value in row))
+        if args.show_rows and len(result.aggregate_rows) > args.show_rows:
+            print(f"  ... {len(result.aggregate_rows) - args.show_rows} more groups")
+    elif args.show_rows:
         for row in result.rows()[: args.show_rows]:
             print(f"  {row}")
 

@@ -112,6 +112,12 @@ class ConstraintChecker:
         #: :meth:`PlanLayout.selection_entries` for the eligibility rule).
         self._alias_bits = self.layout.alias_bits
         self._selection_table = self.layout.selection_entries(self.selections)
+        #: For GROUP BY queries the SteM build *is* the aggregate
+        #: maintenance source, so a singleton may not short-circuit to
+        #: output before building — BuildFirst extends to output readiness.
+        self._aggregate_build_mask = (
+            self.layout.bit_of(query.aggregate_alias) if query.is_aggregate else 0
+        )
         #: Destination-signature cache: routing signature -> legal
         #: destinations.  Valid because destination legality is a pure
         #: function of the signature given the (static) module structure; the
@@ -251,6 +257,10 @@ class ConstraintChecker:
             return False
         if tuple_.layout is not self.layout:
             tuple_.bind_layout(self.layout)
+        if self._aggregate_build_mask & ~tuple_.built_mask:
+            # Aggregate queries: the build feeds the AggregateModule's
+            # listeners, so it must happen before the tuple may leave.
+            return False
         return self.layout.is_complete(tuple_.spanned_mask, tuple_.done_mask)
 
     def must_stay_in_dataflow(self, tuple_: QTuple) -> bool:

@@ -148,6 +148,11 @@ class Eddy:
         #: query engines; the multi-query engine names each eddy after its
         #: admission and every tuple entering the dataflow is stamped with it.
         self.query_id = query_id
+        #: The query's :class:`~repro.core.aggregates.AggregateModule`
+        #: (GROUP BY queries only).  It is not routed — it listens on the
+        #: SteM directly — but lives here so result collection and
+        #: retirement teardown find it next to the modules it feeds off.
+        self.aggregate_module = None
         #: False once :meth:`shutdown` ran (query retirement): the dataflow
         #: no longer accepts tuples and stray in-flight events become no-ops.
         self.live = True

@@ -26,7 +26,7 @@ class SelectionModule(Module):
     def __init__(self, predicate: Predicate, cost: float = 1e-4, name: str | None = None):
         super().__init__(name or f"select:{predicate.name}", cost=cost)
         self.predicate = predicate
-        self.stats.update({"passed": 0, "dropped": 0})
+        self.stats.update({"passed": 0, "dropped": 0, "quarantined": 0})
         self._recent: float | None = None
 
     def process(self, item: Routable) -> list[Routable]:
@@ -47,6 +47,12 @@ class SelectionModule(Module):
             if trap is None:
                 raise
             trap(item, self.name, error)
+            # A quarantined tuple never passes this predicate: score it as a
+            # drop so selectivity estimates (and the routing policies fed by
+            # them) see a mostly-poisonous predicate as unselective instead
+            # of freezing at the 0.5 prior.
+            self.stats["quarantined"] += 1
+            self._note_outcome(0.0)
             return []
         if passed:
             item.mark_done([self.predicate])
@@ -74,8 +80,17 @@ class SelectionModule(Module):
 
     @property
     def observed_selectivity(self) -> float:
-        """Fraction of processed tuples that passed (0.5 before any data)."""
-        total = self.stats["passed"] + self.stats["dropped"]
+        """Fraction of processed tuples that passed (0.5 before any data).
+
+        Quarantined tuples count as drops: a predicate that raises on most
+        rows passes almost nothing, and hiding those outcomes would keep the
+        estimate pinned at whatever the non-poison rows happened to show.
+        """
+        total = (
+            self.stats["passed"]
+            + self.stats["dropped"]
+            + self.stats["quarantined"]
+        )
         if not total:
             return 0.5
         return self.stats["passed"] / total

@@ -84,6 +84,7 @@ __all__ = [
     "configure_shard_pool",
     "default_shards",
     "partitioned_stem",
+    "shard_count_bounds",
     "shard_of",
     "shard_pool",
     "shutdown_shard_pool",
@@ -106,6 +107,26 @@ def default_shards() -> int:
     except ValueError:
         return 1
     return value if value > 1 else 1
+
+
+def shard_count_bounds(max_size: int, shards: int) -> list[int]:
+    """Exact per-shard slices of a logical row-count bound.
+
+    The first ``max_size % shards`` shards take one extra row, so the shard
+    capacities sum to exactly ``max_size`` — a ceil division would hand every
+    shard the rounded-up slice and let the logical SteM over-retain by up to
+    ``shards - 1`` rows.  Count eviction needs at least one row per shard,
+    so a bound smaller than the shard count cannot be honoured exactly and
+    is rejected rather than silently inflated.
+    """
+    if max_size < shards:
+        raise ExecutionError(
+            f"count bound max_size={max_size} is smaller than shards={shards}; "
+            "a partitioned SteM cannot hold the bound exactly with empty-only "
+            "shards — lower the shard count or raise the bound"
+        )
+    base, extra = divmod(max_size, shards)
+    return [base + 1 if index < extra else base for index in range(shards)]
 
 
 def _mix(h: int) -> int:
@@ -289,19 +310,22 @@ class PartitionedSteM:
         #: no positional routing, hash the whole row).
         self._partition_pos: int | None | bool = False
         # A row-count bound is on the logical SteM's state, so each shard
-        # gets its slice of it (ceil keeps the division total >= the bound).
+        # gets its exact slice of it (the first ``max_size % shards`` shards
+        # take the extra row, so the shard capacities sum to ``max_size``).
         # Time windows are build-timestamp widths — global timestamps make a
         # per-shard window mean exactly what the single-shard window means.
-        shard_max_size = (
-            None if max_size is None else max(1, -(-max_size // shards))
+        shard_bounds = (
+            [None] * shards
+            if max_size is None
+            else shard_count_bounds(max_size, shards)
         )
         self._shards: list[SteM] = []
         for index in range(shards):
             if isinstance(eviction, EvictionPolicy):
-                policy = self._shard_policy(eviction)
+                policy = self._shard_policy(eviction, index)
             else:
                 policy = make_eviction_policy(
-                    eviction, max_size=shard_max_size, window=window
+                    eviction, max_size=shard_bounds[index], window=window
                 )
             self._check_policy(policy)
             self._shards.append(
@@ -310,7 +334,7 @@ class PartitionedSteM:
                     aliases=self.aliases,
                     join_columns=self.join_columns,
                     index_kind=index_kind,
-                    max_size=shard_max_size,
+                    max_size=shard_bounds[index],
                     eviction=policy,
                     columnar=columnar,
                     name=f"{self.name}#{index}",
@@ -348,16 +372,21 @@ class PartitionedSteM:
                 "shards=1 (the partitioned_stem factory does this for you)"
             )
 
-    def _shard_policy(self, policy: EvictionPolicy | None) -> EvictionPolicy | None:
+    def _shard_policy(
+        self, policy: EvictionPolicy | None, index: int
+    ) -> EvictionPolicy | None:
         """The per-shard equivalent of a logical-SteM policy instance.
 
-        A count bound is divided across the shards; window policies (and
-        anything else stateless) are shared as-is — build timestamps are
-        global, so a per-shard time window expires exactly the rows the
-        single shard's would.
+        A count bound is divided exactly across the shards
+        (:func:`shard_count_bounds`); window policies (and anything else
+        stateless) are shared as-is — build timestamps are global, so a
+        per-shard time window expires exactly the rows the single shard's
+        would.
         """
         if isinstance(policy, CountEviction):
-            return CountEviction(max(1, -(-policy.max_size // self.shards)))
+            return CountEviction(
+                shard_count_bounds(policy.max_size, self.shards)[index]
+            )
         return policy
 
     # -- sharing ----------------------------------------------------------------
@@ -770,9 +799,8 @@ class PartitionedSteM:
         the single-shard row plane."""
         self._check_policy(policy)
         self.eviction = policy
-        shard_policy = self._shard_policy(policy)
-        for shard in self._shards:
-            shard.set_eviction(shard_policy)
+        for index, shard in enumerate(self._shards):
+            shard.set_eviction(self._shard_policy(policy, index))
 
     def add_evict_listener(self, callback) -> None:
         self._evict_listeners.append(callback)

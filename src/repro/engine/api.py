@@ -93,6 +93,13 @@ def execute(
         ("engine", "policy", "plan", "until", "trace", *SHARED_ENGINE_OPTIONS),
     )
     parsed = parse_query(query) if isinstance(query, str) else query
+    if parsed.is_aggregate and engine != "stems":
+        # Incremental GROUP BY maintenance hangs off SteM build/evict
+        # listeners; the baseline engines have no SteMs to listen to.
+        raise ExecutionError(
+            f"engine {engine!r} does not support GROUP BY aggregate queries; "
+            "use the 'stems' engine"
+        )
     if engine == "stems":
         return run_stems(
             parsed,

@@ -90,6 +90,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import ExecutionError
+from repro.core.aggregates import AggregateModule, AggregateRegistry
 from repro.core.costs import CostModel
 from repro.core.eddy import Eddy
 from repro.core.modules.stem_module import SharedSteMModule, SteMModule
@@ -110,6 +111,7 @@ from repro.engine.results import ExecutionResult, MultiQueryResult
 from repro.engine.stems_engine import (
     collect_stems_result,
     instantiate_stems_query,
+    make_private_aggregate_module,
     make_private_stem_module,
 )
 from repro.query.parser import parse_query
@@ -292,6 +294,13 @@ class MultiQueryEngine:
             if shared_stems
             else None
         )
+        #: Shared aggregate modules, deduplicated by grouping signature with
+        #: owner refcounts — the aggregate analogue of the SteM registry.
+        #: Only meaningful with shared SteMs (a private SteM's window is
+        #: per-query, so its aggregates cannot be shared either).
+        self.aggregate_registry: AggregateRegistry | None = (
+            AggregateRegistry() if shared_stems else None
+        )
         #: One build-timestamp source for every eddy: the TimeStamp
         #: constraint requires a total order over builds across queries.
         #: ``timestamp_start`` lets a resume-mode restore continue the
@@ -383,6 +392,9 @@ class MultiQueryEngine:
             eddy,
             self.costs,
             lambda ref, q: self._make_stem_module(ref, q, query_id),
+            make_aggregate_module=(
+                lambda q, module: self._make_aggregate_module(q, module, query_id)
+            ),
         )
         if self.registry is not None:
             self.registry.attach_runtime(eddy)
@@ -452,6 +464,21 @@ class MultiQueryEngine:
             shards=self.shards,
         )
 
+    def _make_aggregate_module(
+        self, query: Query, stem_module, owner: str
+    ) -> AggregateModule:
+        """Shared aggregate module when the backing SteM is shared.
+
+        Queries with the same grouping signature (table, group columns,
+        aggregate specs, canonical predicates) maintain **one** module over
+        the shared window; anything running on a private SteM keeps a
+        private module (its window is per-query state).
+        """
+        stem = stem_module.stem
+        if self.aggregate_registry is not None and self._is_registry_stem(stem):
+            return self.aggregate_registry.module_for(query, stem, owner=owner)
+        return make_private_aggregate_module(query, stem_module)
+
     # -- retirement --------------------------------------------------------------
 
     def retire(self, query_id: str) -> ExecutionResult:
@@ -481,10 +508,23 @@ class MultiQueryEngine:
             detach = getattr(module, "detach", None)
             if detach is not None:
                 detach()
+        aggregate = ctx.eddy.aggregate_module
+        if aggregate is not None:
+            shared_aggregate = self.aggregate_registry is not None and any(
+                module is aggregate
+                for module in self.aggregate_registry.modules.values()
+            )
+            if not shared_aggregate:
+                # Private module: nobody else references it — detach now so
+                # the SteM stops announcing into retired state.
+                aggregate.detach()
         ctx.eddy.shutdown()
         if self.registry is not None:
             self.registry.detach_runtime(ctx.eddy)
             self.registry.release(query_id)
+        if self.aggregate_registry is not None:
+            # Shared modules detach when their last owner releases.
+            self.aggregate_registry.release(query_id)
         if ctx.eddy.layout is not None:
             # The per-layout probe-plan memo is the one cache shared SteM
             # probes populate for this query; empty it so retired plans do
@@ -547,6 +587,25 @@ class MultiQueryEngine:
     def eddy_of(self, query_id: str) -> Eddy:
         """The eddy executing one live admitted query."""
         return self._ctx(query_id).eddy
+
+    def aggregate_snapshot(self) -> dict[str, dict]:
+        """Live aggregate output per query id (checkpoint observability).
+
+        Restores do not replay this — a restored admission's module
+        re-bootstraps from the rebuilt SteM contents — but checkpoints
+        carry it so recovery can *verify* the reconstructed state against
+        what the lost process had materialised.
+        """
+        snapshot: dict[str, dict] = {}
+        for ctx in self._queries:
+            module = ctx.eddy.aggregate_module
+            if module is None:
+                continue
+            snapshot[ctx.query_id] = {
+                "labels": list(ctx.query.aggregate_labels),
+                "rows": [list(row) for row in module.result_rows()],
+            }
+        return snapshot
 
     def layout_of(self, query_id: str):
         """The compiled :class:`~repro.query.layout.PlanLayout` of one query.
@@ -638,9 +697,17 @@ class MultiQueryEngine:
             shared_stems=self.shared_stems,
             stem_totals=totals,
             stem_stats=stem_stats,
-            registry_stats=(
-                dict(self.registry.stats) if self.registry is not None else {}
-            ),
+            registry_stats={
+                **(dict(self.registry.stats) if self.registry is not None else {}),
+                **(
+                    {
+                        f"aggregates_{key}": value
+                        for key, value in self.aggregate_registry.stats.items()
+                    }
+                    if self.aggregate_registry is not None
+                    else {}
+                ),
+            },
             retired=tuple(
                 query_id for query_id in self._order if query_id in self._retired
             ),

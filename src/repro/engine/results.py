@@ -80,6 +80,11 @@ class ExecutionResult:
         retired_at: virtual time the query was retired from a continuous
             multi-query run (None when it ran to quiescence); the result
             set is everything emitted up to that instant.
+        aggregate_rows: for GROUP BY queries, the incremental aggregate
+            output at collection time — one tuple per live group, group
+            values then aggregate values, in the deterministic group order
+            (None for non-aggregate queries).
+        aggregate_labels: the output-column labels of ``aggregate_rows``.
     """
 
     engine: str
@@ -94,6 +99,21 @@ class ExecutionResult:
     module_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     eddy_stats: dict[str, int] = field(default_factory=dict)
     retired_at: float | None = None
+    aggregate_rows: tuple[tuple, ...] | None = None
+    aggregate_labels: tuple[str, ...] = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True when this result carries GROUP BY aggregate output."""
+        return self.aggregate_rows is not None
+
+    def aggregate_table(self) -> list[dict[str, Any]]:
+        """Aggregate output as ``{label: value}`` dictionaries."""
+        if self.aggregate_rows is None:
+            return []
+        return [
+            dict(zip(self.aggregate_labels, row)) for row in self.aggregate_rows
+        ]
 
     @property
     def row_count(self) -> int:
@@ -145,8 +165,13 @@ class ExecutionResult:
         completion = (
             f"{self.completion_time:.1f}s" if self.completion_time is not None else "n/a"
         )
+        groups = (
+            f"{len(self.aggregate_rows)} groups, "
+            if self.aggregate_rows is not None
+            else ""
+        )
         return (
-            f"[{self.engine}] {self.query_name}: {self.row_count} rows, "
+            f"[{self.engine}] {self.query_name}: {groups}{self.row_count} rows, "
             f"last result at {completion}, quiesced at {self.final_time:.1f}s, "
             f"{self.total_index_lookups()} index lookups"
         )

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.core.aggregates import AggregateModule
 from repro.core.constraints import ConstraintChecker
+from repro.errors import QueryError
 from repro.core.costs import CostModel
 from repro.core.eddy import Eddy
 from repro.core.modules.access import IndexAMModule, ScanAMModule
@@ -48,6 +50,48 @@ from repro.storage.catalog import Catalog, IndexSpec, ScanSpec
 #: engine substitutes a factory drawing shared SteMs from its registry.
 SteMModuleFactory = Callable[[TableRef, Query], SteMModule]
 
+#: Factory producing the aggregate module of a GROUP BY query, given the
+#: query and the SteM module of its single alias.  The single-query engine
+#: builds a private :class:`AggregateModule`; the multi-query engine
+#: substitutes a factory drawing shared modules from its
+#: :class:`~repro.core.aggregates.AggregateRegistry`.
+AggregateModuleFactory = Callable[[Query, SteMModule], AggregateModule]
+
+
+def _validate_aggregate_columns(query: Query, catalog: Catalog) -> None:
+    """Reject aggregate queries naming columns their table does not have.
+
+    Listener callbacks run deep inside the build path; a typo must fail at
+    admission, not as an exception out of the first build.
+    """
+    known = catalog.table(query.tables[0].table).schema.names
+    for column in query.group_by:
+        if column.column not in known:
+            raise QueryError(
+                f"GROUP BY column {column} is not a column of "
+                f"{query.tables[0].table!r} (columns: {list(known)})"
+            )
+    for spec in query.aggregates:
+        if spec.column is not None and spec.column.column not in known:
+            raise QueryError(
+                f"aggregate {spec.label} names no column of "
+                f"{query.tables[0].table!r} (columns: {list(known)})"
+            )
+
+
+def make_private_aggregate_module(
+    query: Query, stem_module: SteMModule
+) -> AggregateModule:
+    """A private aggregate module listening on the query's own SteM."""
+    return AggregateModule(
+        name=f"aggregate:{query.aggregate_alias}",
+        stem=stem_module.stem,
+        alias=query.aggregate_alias,
+        group_by=query.group_by,
+        aggregates=query.aggregates,
+        predicates=query.predicates,
+    )
+
 
 def instantiate_stems_query(
     query: Query,
@@ -55,6 +99,7 @@ def instantiate_stems_query(
     eddy: Eddy,
     costs: CostModel,
     make_stem_module: SteMModuleFactory,
+    make_aggregate_module: AggregateModuleFactory | None = None,
 ) -> ConstraintChecker:
     """Wire one query's modules onto an eddy (paper §2.2's five steps).
 
@@ -74,6 +119,14 @@ def instantiate_stems_query(
     # SteM is private or shared).
     for ref in query.tables:
         eddy.register_stem(ref.alias, make_stem_module(ref, query))
+    # Aggregates: a GROUP BY query additionally hangs an AggregateModule off
+    # its (single) SteM's build/evict listeners — maintenance runs above the
+    # eddy, so it needs no routing constraints and no done-bits.
+    if query.is_aggregate:
+        _validate_aggregate_columns(query, catalog)
+        stem_module = eddy.stems[query.aggregate_alias]
+        factory = make_aggregate_module or make_private_aggregate_module
+        eddy.aggregate_module = factory(query, stem_module)
     if eddy.trace is not None:
         # A SteM whose columnar mirror auto-disabled (reference-window
         # eviction) silently serves the row plane; note it in the trace so
@@ -189,6 +242,13 @@ def collect_stems_result(
     resolver = eddy.resolver
     if isinstance(resolver, ConstraintChecker):
         module_stats["destination-cache"] = dict(resolver.cache_stats)
+    aggregate_rows = None
+    aggregate_labels: tuple[str, ...] = ()
+    aggregate = eddy.aggregate_module
+    if aggregate is not None:
+        aggregate_rows = tuple(aggregate.result_rows())
+        aggregate_labels = query.aggregate_labels
+        module_stats[aggregate.name] = aggregate.stats_snapshot()
     return ExecutionResult(
         engine=engine,
         query_name=query.name,
@@ -201,6 +261,8 @@ def collect_stems_result(
         partial_series=_partial_series(eddy),
         module_stats=module_stats,
         eddy_stats=dict(eddy.stats),
+        aggregate_rows=aggregate_rows,
+        aggregate_labels=aggregate_labels,
     )
 
 

@@ -176,6 +176,19 @@ class PlanLayout(AliasSpace):
         #: never reads another query's plans.  Populated lazily by
         #: :meth:`~repro.core.modules.stem_module.SteMModule.probe_plan_for`.
         self.probe_plans: dict[tuple, object] = {}
+        #: Aggregate output layout: the labels of the aggregate result
+        #: columns, and the half-open index spans slicing one output tuple
+        #: into its group-column part and its aggregate part.  Empty/zero
+        #: for non-aggregate queries.
+        self.aggregate_labels: tuple[str, ...] = (
+            query.aggregate_labels if query.is_aggregate else ()
+        )
+        group_width = len(query.group_by)
+        self.group_span: tuple[int, int] = (0, group_width)
+        self.aggregate_span: tuple[int, int] = (
+            group_width,
+            group_width + len(query.aggregates),
+        )
 
     def _missing(self, alias: str) -> int:
         raise QueryError(

@@ -1,9 +1,13 @@
-"""A small SQL parser for select-project-join queries.
+"""A small SQL parser for select-project-join and aggregate queries.
 
 Supported grammar (case-insensitive keywords)::
 
-    query      := SELECT select_list FROM from_list [WHERE condition]
-    select_list:= '*' | column (',' column)*
+    query      := SELECT select_list FROM from_list
+                  [WHERE condition] [GROUP BY column (',' column)*]
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= column | aggregate
+    aggregate  := func '(' '*' ')' | func '(' column ')'
+    func       := COUNT | SUM | AVG | MIN | MAX
     from_list  := table_ref (',' table_ref)*
     table_ref  := identifier [[AS] identifier]
     condition  := comparison (AND comparison)*
@@ -11,11 +15,15 @@ Supported grammar (case-insensitive keywords)::
     op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
     operand    := column | literal
     column     := identifier '.' identifier | identifier
-    literal    := integer | float | quoted string | TRUE | FALSE
+    literal    := ['-'] integer | ['-'] float | quoted string | TRUE | FALSE
 
-This covers every query in the paper and in the benchmark suite.  OR,
-subqueries, grouping, and expressions beyond simple comparisons are
-intentionally out of scope (the paper assumes select-project-join blocks).
+This covers every query in the paper and in the benchmark suite, plus the
+single-table windowed GROUP BY aggregates of :mod:`repro.core.aggregates`
+(the CACQ/PSoUP continuous-dashboard setting).  Aggregate function names
+are *not* reserved — ``count`` is an aggregate only when followed by ``(``,
+so tables may keep columns of those names.  OR, subqueries, HAVING, and
+expressions beyond simple comparisons are intentionally out of scope (the
+paper assumes select-project-join blocks).
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from dataclasses import dataclass
 from repro.errors import ParseError
 from repro.query.expressions import ColumnRef, Expression, Literal
 from repro.query.predicates import Comparison, InList, Predicate
-from repro.query.query import Query, TableRef
+from repro.query.query import AGGREGATE_FUNCS, AggregateSpec, Query, TableRef
 
 _TOKEN_PATTERN = re.compile(
     r"""
@@ -35,6 +43,7 @@ _TOKEN_PATTERN = re.compile(
   | (?P<int>\d+)
   | (?P<string>'(?:[^']|'')*')
   | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<minus>-)
   | (?P<punct>[(),;*])
   | (?P<dot>\.)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
@@ -42,7 +51,10 @@ _TOKEN_PATTERN = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {"select", "from", "where", "and", "as", "in", "true", "false"}
+_KEYWORDS = {
+    "select", "from", "where", "and", "as", "in", "true", "false",
+    "group", "by",
+}
 
 
 @dataclass(frozen=True)
@@ -84,6 +96,12 @@ class _TokenStream:
     def peek(self) -> _Token | None:
         if self._index < len(self._tokens):
             return self._tokens[self._index]
+        return None
+
+    def peek_ahead(self, offset: int) -> _Token | None:
+        position = self._index + offset
+        if position < len(self._tokens):
+            return self._tokens[position]
         return None
 
     def next(self) -> _Token:
@@ -128,21 +146,41 @@ def parse_query(text: str, name: str | None = None) -> Query:
     """
     stream = _TokenStream(_tokenize(text))
     stream.expect_keyword("select")
-    projections = _parse_select_list(stream)
+    select_items = _parse_select_list(stream)
     stream.expect_keyword("from")
     tables = _parse_from_list(stream)
     predicates: list[Predicate] = []
     if stream.at_keyword("where"):
         stream.next()
         predicates = _parse_condition(stream)
+    group_by: list = []
+    if stream.at_keyword("group"):
+        stream.next()
+        stream.expect_keyword("by")
+        group_by.append(_parse_column(stream))
+        while True:
+            token = stream.peek()
+            if token is not None and token.kind == "punct" and token.text == ",":
+                stream.next()
+                group_by.append(_parse_column(stream))
+                continue
+            break
     if not stream.at_end():
         token = stream.peek()
         assert token is not None
         raise ParseError(f"unexpected trailing token {token.text!r}", token.position)
     default_alias = tables[0].alias if len(tables) == 1 else None
-    projections = [
-        _qualify(projection, default_alias) for projection in projections
+    plain = [
+        _qualify(item, default_alias)
+        for item in select_items
+        if not isinstance(item, _AggregateCall)
     ]
+    aggregates = [
+        item.qualified(default_alias)
+        for item in select_items
+        if isinstance(item, _AggregateCall)
+    ]
+    group_columns = [_qualify(column, default_alias) for column in group_by]
     qualified = [_qualify_predicate(p, default_alias) for p in predicates]
     # Number the freshly created predicates 1..n: parsing the same text
     # twice must produce identically named/identified predicates, or module
@@ -150,29 +188,86 @@ def parse_query(text: str, name: str | None = None) -> Query:
     # runs and traces stop being comparable.
     for position, predicate in enumerate(qualified, start=1):
         predicate.renumber(position)
+    query_name = name or " ".join(text.split())[:60]
+    if aggregates or group_columns:
+        # The canonical aggregate select list is the group columns followed
+        # by the aggregate calls; plain columns may appear in any order in
+        # the text, but each must be one of the GROUP BY columns.
+        for column in plain:
+            if column not in group_columns:
+                raise ParseError(
+                    f"select-list column {column} must appear in GROUP BY "
+                    "when the query aggregates"
+                )
+        return Query(
+            tables=tables,
+            predicates=qualified,
+            group_by=group_columns,
+            aggregates=aggregates,
+            name=query_name,
+        )
     return Query(
         tables=tables,
         predicates=qualified,
-        projections=projections,
-        name=name or " ".join(text.split())[:60],
+        projections=plain,
+        name=query_name,
     )
 
 
 # -- clause parsers -----------------------------------------------------------
 
-def _parse_select_list(stream: _TokenStream) -> list[ColumnRef | str]:
+def _parse_select_list(stream: _TokenStream) -> list:
     token = stream.peek()
     if token is not None and token.kind == "punct" and token.text == "*":
         stream.next()
         return []
-    projections: list[ColumnRef | str] = []
+    items: list = []
     while True:
-        projections.append(_parse_column(stream))
+        items.append(_parse_select_item(stream))
         token = stream.peek()
         if token is not None and token.kind == "punct" and token.text == ",":
             stream.next()
             continue
-        return projections
+        return items
+
+
+def _parse_select_item(stream: _TokenStream):
+    """One select-list entry: a column, or an aggregate call.
+
+    An identifier is an aggregate call exactly when the next token is
+    ``(`` — so ``count`` stays a perfectly good column (and table) name.
+    """
+    first = stream.peek()
+    after = stream.peek_ahead(1)
+    if (
+        first is not None
+        and first.kind == "ident"
+        and after is not None
+        and after.kind == "punct"
+        and after.text == "("
+    ):
+        func_token = stream.next()
+        if func_token.lower not in AGGREGATE_FUNCS:
+            raise ParseError(
+                f"unknown aggregate function {func_token.text!r} "
+                f"(supported: {', '.join(AGGREGATE_FUNCS)})",
+                func_token.position,
+            )
+        stream.expect("punct", "(")
+        token = stream.peek()
+        if token is not None and token.kind == "punct" and token.text == "*":
+            star = stream.next()
+            if func_token.lower != "count":
+                raise ParseError(
+                    f"{func_token.lower}(*) is not defined; only count(*) is",
+                    star.position,
+                )
+            column = None
+        else:
+            column = _parse_column(stream)
+        stream.expect("punct", ")")
+        return _AggregateCall(func_token.lower, column)
+    return _parse_column(stream)
 
 
 def _parse_from_list(stream: _TokenStream) -> list[TableRef]:
@@ -252,11 +347,25 @@ class _UnqualifiedColumn:
     column: str
 
 
+@dataclass(frozen=True)
+class _AggregateCall:
+    """A parsed aggregate select-list entry, pre alias resolution."""
+
+    func: str
+    column: ColumnRef | _UnqualifiedColumn | None
+
+    def qualified(self, default_alias: str | None) -> AggregateSpec:
+        column = (
+            None if self.column is None else _qualify(self.column, default_alias)
+        )
+        return AggregateSpec(self.func, column)
+
+
 def _parse_operand(stream: _TokenStream):
     token = stream.peek()
     if token is None:
         raise ParseError("unexpected end of query")
-    if token.kind in ("int", "float", "string") or (
+    if token.kind in ("int", "float", "string", "minus") or (
         token.kind == "ident" and token.lower in ("true", "false")
     ):
         return _parse_literal(stream)
@@ -265,6 +374,16 @@ def _parse_operand(stream: _TokenStream):
 
 def _parse_literal(stream: _TokenStream) -> Literal:
     token = stream.next()
+    if token.kind == "minus":
+        token = stream.next()
+        if token.kind == "int":
+            return Literal(-int(token.text))
+        if token.kind == "float":
+            return Literal(-float(token.text))
+        raise ParseError(
+            f"'-' must precede a numeric literal, found {token.text!r}",
+            token.position,
+        )
     if token.kind == "int":
         return Literal(int(token.text))
     if token.kind == "float":

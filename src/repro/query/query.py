@@ -1,9 +1,12 @@
-"""Query specifications: select-project-join queries.
+"""Query specifications: select-project-join queries, plus aggregates.
 
 A :class:`Query` is the declarative object the engines execute.  It holds
 the FROM-clause table references (with aliases), the WHERE-clause predicates,
-and the SELECT-list projections.  Group-by / aggregation are out of scope, as
-in the paper ("implemented above the eddy").
+and the SELECT-list projections.  Single-table ``GROUP BY`` aggregate
+queries carry their grouping columns and :class:`AggregateSpec` list instead
+of projections — the aggregation itself runs *above* the eddy (as the paper
+puts it), incrementally off SteM build/evict listeners
+(:mod:`repro.core.aggregates`).
 """
 
 from __future__ import annotations
@@ -14,6 +17,40 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import QueryError, UnknownTableError
 from repro.query.expressions import ColumnRef
 from repro.query.predicates import Comparison, Predicate
+
+#: Aggregate functions the engine maintains incrementally.
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One SELECT-list aggregate call: ``func(column)`` or ``count(*)``.
+
+    Attributes:
+        func: one of :data:`AGGREGATE_FUNCS`.
+        column: the argument column; ``None`` only for ``count(*)``.
+    """
+
+    func: str
+    column: ColumnRef | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise QueryError(
+                f"unknown aggregate function {self.func!r} "
+                f"(supported: {', '.join(AGGREGATE_FUNCS)})"
+            )
+        if self.column is None and self.func != "count":
+            raise QueryError(f"{self.func}(*) is not defined; only count(*) is")
+
+    @property
+    def label(self) -> str:
+        """The canonical SELECT-list rendering, e.g. ``sum(R.a)``."""
+        argument = "*" if self.column is None else str(self.column)
+        return f"{self.func}({argument})"
+
+    def __str__(self) -> str:
+        return self.label
 
 
 @dataclass(frozen=True)
@@ -46,6 +83,13 @@ class Query:
         predicates: WHERE-clause predicates (implicitly conjoined).
         projections: SELECT-list column references; empty means ``SELECT *``.
         name: optional human-readable query name (used in reports).
+        group_by: GROUP BY columns, in clause order.  Requires at least one
+            aggregate; the canonical select list is the group columns
+            followed by the aggregates.
+        aggregates: SELECT-list :class:`AggregateSpec` entries.  Aggregate
+            queries must reference exactly one table (windowed aggregation
+            over one SteM); ``projections`` must then be empty — the group
+            columns *are* the plain output columns.
     """
 
     def __init__(
@@ -54,6 +98,8 @@ class Query:
         predicates: Sequence[Predicate] = (),
         projections: Sequence[ColumnRef | str] = (),
         name: str = "query",
+        group_by: Sequence[ColumnRef | str] = (),
+        aggregates: Sequence[AggregateSpec] = (),
     ):
         refs: list[TableRef] = []
         for entry in tables:
@@ -72,8 +118,14 @@ class Query:
             p if isinstance(p, ColumnRef) else ColumnRef.parse(p)
             for p in projections
         )
+        self.group_by: tuple[ColumnRef, ...] = tuple(
+            c if isinstance(c, ColumnRef) else ColumnRef.parse(c)
+            for c in group_by
+        )
+        self.aggregates: tuple[AggregateSpec, ...] = tuple(aggregates)
         self.name = name
         self._validate_references()
+        self._validate_aggregates()
 
     # -- validation -----------------------------------------------------------
 
@@ -86,6 +138,40 @@ class Query:
         for projection in self.projections:
             if projection.alias not in known:
                 raise UnknownTableError(projection.alias, tuple(sorted(known)))
+        for column in self.group_by:
+            if column.alias not in known:
+                raise UnknownTableError(column.alias, tuple(sorted(known)))
+        for spec in self.aggregates:
+            if spec.column is not None and spec.column.alias not in known:
+                raise UnknownTableError(
+                    spec.column.alias, tuple(sorted(known))
+                )
+
+    def _validate_aggregates(self) -> None:
+        if not self.aggregates:
+            if self.group_by:
+                raise QueryError(
+                    "GROUP BY requires at least one aggregate in the "
+                    "select list"
+                )
+            return
+        if len(self.tables) != 1:
+            raise QueryError(
+                "aggregate queries must reference exactly one table "
+                "(incremental aggregation windows over a single SteM); got "
+                f"{len(self.tables)} FROM entries"
+            )
+        if self.projections:
+            raise QueryError(
+                "aggregate queries carry their plain output columns in "
+                "group_by, not projections"
+            )
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError(f"duplicate GROUP BY columns: {self.group_by}")
+        if self.join_predicates:
+            raise QueryError(
+                "aggregate queries cannot carry join predicates"
+            )
 
     # -- accessors ------------------------------------------------------------
 
@@ -186,12 +272,33 @@ class Query:
                 partners |= referenced - {alias}
         return frozenset(partners)
 
+    # -- aggregation -----------------------------------------------------------
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for a GROUP BY / aggregate query."""
+        return bool(self.aggregates)
+
+    @property
+    def aggregate_alias(self) -> str:
+        """The single FROM alias of an aggregate query."""
+        if not self.is_aggregate:
+            raise QueryError(f"query {self.name!r} has no aggregates")
+        return self.tables[0].alias
+
+    @property
+    def aggregate_labels(self) -> tuple[str, ...]:
+        """Output-column labels: group columns, then aggregate calls."""
+        return tuple(str(column) for column in self.group_by) + tuple(
+            spec.label for spec in self.aggregates
+        )
+
     # -- projections ----------------------------------------------------------
 
     @property
     def is_select_star(self) -> bool:
         """True if the query projects all columns."""
-        return not self.projections
+        return not self.projections and not self.aggregates
 
     def output_columns(
         self, schemas: Mapping[str, Sequence[str]]
@@ -212,12 +319,15 @@ class Query:
     def __repr__(self) -> str:
         froms = ", ".join(str(ref) for ref in self.tables)
         wheres = " AND ".join(str(p) for p in self.predicates)
-        select = (
-            ", ".join(str(p) for p in self.projections)
-            if self.projections
-            else "*"
-        )
+        if self.aggregates:
+            select = ", ".join(self.aggregate_labels)
+        elif self.projections:
+            select = ", ".join(str(p) for p in self.projections)
+        else:
+            select = "*"
         text = f"SELECT {select} FROM {froms}"
         if wheres:
             text += f" WHERE {wheres}"
+        if self.group_by:
+            text += " GROUP BY " + ", ".join(str(c) for c in self.group_by)
         return f"Query({text})"

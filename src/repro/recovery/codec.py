@@ -324,15 +324,23 @@ def query_to_sql(query: Query) -> str:
 
     The inverse of :func:`repro.query.parser.parse_query` over its own
     output: table references (with aliases), comparison and IN-list
-    predicates, and explicit projections all round-trip — re-parsing the
-    rendered text yields the same tables, predicates (with identical
-    deterministic ids) and projections.  Queries built programmatically
+    predicates, explicit projections, and GROUP BY aggregate select lists
+    all round-trip — re-parsing the rendered text yields the same tables,
+    predicates (with identical deterministic ids), projections, group
+    columns and aggregate specs.  Queries built programmatically
     with constructs the grammar cannot express (conjunction objects,
     exotic literals) raise :class:`~repro.errors.ExecutionError` — such
     admissions cannot be made durable.
     """
     tables = ", ".join(str(ref) for ref in query.tables)
-    if query.projections:
+    if query.is_aggregate:
+        # GROUP BY queries: group columns first (the parser requires every
+        # plain select item to appear in GROUP BY), then the aggregate
+        # calls in spec order — both re-parse to identical tuples.
+        items = [str(column) for column in query.group_by]
+        items.extend(spec.label for spec in query.aggregates)
+        select = ", ".join(items)
+    elif query.projections:
         select = ", ".join(str(column) for column in query.projections)
     else:
         select = "*"
@@ -341,6 +349,10 @@ def query_to_sql(query: Query) -> str:
         sql += " WHERE " + " AND ".join(
             _predicate_sql(predicate) for predicate in query.predicates
         )
+    if query.group_by:
+        # Global aggregates (``SELECT count(*) FROM R``) have an empty
+        # GROUP BY clause — rendering the keyword would be a syntax error.
+        sql += " GROUP BY " + ", ".join(str(column) for column in query.group_by)
     return sql
 
 

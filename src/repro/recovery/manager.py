@@ -166,6 +166,11 @@ class RecoveredState:
     retired: dict[str, float] = field(default_factory=dict)
     #: Query id -> {identity key: acknowledged count}.
     emitted: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Query id -> {"labels": [...], "rows": [(...), ...]} — the aggregate
+    #: output the last snapshot observed.  Verification data only: restores
+    #: re-derive aggregate state from the rebuilt SteMs, and WAL records
+    #: after the snapshot cut are not reflected here.
+    aggregates: dict[str, dict] = field(default_factory=dict)
     next_timestamp: int = 1
     #: Diagnostics: torn WAL lines truncated, torn snapshots skipped.
     torn_wal_records: int = 0
@@ -486,6 +491,22 @@ class CheckpointManager:
             ],
             "retired": dict(self._retire_times),
             "emitted": {q: dict(counts) for q, counts in self._emitted.items()},
+            # Aggregate output is *derived* state (it re-bootstraps from the
+            # restored SteM rows), so restores never replay this section —
+            # it rides along so recovery tests can verify the rebuilt
+            # modules against what the lost process had materialised.
+            "aggregates": {
+                query_id: {
+                    "labels": list(entry["labels"]),
+                    "rows": [
+                        [encode_value(value) for value in row]
+                        for row in entry["rows"]
+                    ],
+                }
+                for query_id, entry in sorted(
+                    self.engine.aggregate_snapshot().items()
+                )
+            },
         }
         path = self.snapshots.write(state)
         self.stats["checkpoints"] += 1
@@ -564,6 +585,16 @@ def recover_state(directory: str) -> RecoveredState:
                 )
             )
         state.retired = {q: float(t) for q, t in snapshot["retired"].items()}
+        state.aggregates = {
+            query_id: {
+                "labels": tuple(entry["labels"]),
+                "rows": [
+                    tuple(decode_value(value) for value in row)
+                    for row in entry["rows"]
+                ],
+            }
+            for query_id, entry in snapshot.get("aggregates", {}).items()
+        }
         state.emitted = {
             q: {key: int(count) for key, count in counts.items()}
             for q, counts in snapshot["emitted"].items()

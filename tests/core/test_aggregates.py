@@ -1,0 +1,432 @@
+"""Incremental GROUP BY aggregates: unit and differential property tests.
+
+The maintenance contract (see ``repro.core.aggregates``): an
+:class:`AggregateModule` listening on a SteM's build/evict announcements
+must hold, at every instant, *byte-for-byte* the state a from-scratch
+recomputation over the SteM's surviving rows would produce — under churn,
+under every eviction policy, under bootstrap-at-attach, and under hostile
+values (NaN, ±inf, -0.0, 2**63, bool-vs-int shadowing, None groups).
+"Byte-for-byte" is literal: outputs are compared through the durable
+tagged-JSON codec, which distinguishes everything Python equality blurs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import (
+    AggregateModule,
+    AggregateRegistry,
+    AggregateState,
+    aggregate_signature,
+)
+from repro.core.stem import (
+    CountEviction,
+    ReferenceWindowEviction,
+    SteM,
+    TimeWindowEviction,
+)
+from repro.errors import ExecutionError
+from repro.query.parser import parse_query
+from repro.recovery.codec import canonical_json, encode_value
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+R_SCHEMA = Schema.of("key:int", "a:int")
+
+FULL_QUERY = parse_query(
+    "SELECT a, count(*), count(key), sum(key), avg(key), min(key), max(key) "
+    "FROM R GROUP BY a"
+)
+
+
+def r_row(key, a):
+    return Row("R", R_SCHEMA, (key, a))
+
+
+def make_module(stem, query=FULL_QUERY):
+    module = AggregateModule(
+        name="aggregate:R",
+        stem=stem,
+        alias=query.aggregate_alias,
+        group_by=query.group_by,
+        aggregates=query.aggregates,
+        predicates=query.predicates,
+    )
+    module.attach()
+    return module
+
+
+def encoded(rows):
+    """Canonical byte-exact rendering of an aggregate output table."""
+    return canonical_json([encode_value(tuple(row)) for row in rows])
+
+
+def reference(stem, query=FULL_QUERY):
+    """The from-scratch oracle over the SteM's surviving rows."""
+    return AggregateState.recompute(
+        query.group_by,
+        query.aggregates,
+        (row for row, _ in stem.state_entries()),
+    )
+
+
+# -- unit: per-aggregate retraction semantics ---------------------------------
+
+
+class TestAggregateState:
+    def state(self, query=FULL_QUERY):
+        return AggregateState(query.group_by, query.aggregates)
+
+    def test_insert_then_full_retract_leaves_nothing(self):
+        state = self.state()
+        rows = [r_row(k, k % 3) for k in range(9)]
+        for row in rows:
+            state.insert(row)
+        assert state.group_count == 3
+        for row in rows:
+            state.retract(row)
+        assert state.group_count == 0
+        assert state.result_rows() == []
+
+    def test_retract_unknown_group_raises(self):
+        state = self.state()
+        state.insert(r_row(1, 1))
+        with pytest.raises(ExecutionError):
+            state.retract(r_row(5, 99))
+
+    def test_sum_retraction_is_exact_for_floats(self):
+        # (s + x) - x drifts in IEEE arithmetic; the Fraction carry must
+        # not.  0.1 + 0.2 - 0.2 != 0.1 as floats, but the exact path
+        # restores the original byte pattern.
+        query = parse_query("SELECT a, sum(key) FROM R GROUP BY a")
+        state = self.state(query)
+        first = r_row(0.1, 1)
+        second = r_row(0.2, 1)
+        state.insert(first)
+        state.insert(second)
+        state.retract(second)
+        ((_, total),) = state.result_rows()
+        assert total.hex() == (0.1).hex()
+
+    def test_sum_stays_int_until_a_float_arrives(self):
+        query = parse_query("SELECT a, sum(key) FROM R GROUP BY a")
+        state = self.state(query)
+        state.insert(r_row(2, 1))
+        state.insert(r_row(3, 1))
+        ((_, total),) = state.result_rows()
+        assert type(total) is int and total == 5
+        floaty = r_row(0.5, 1)
+        state.insert(floaty)
+        ((_, total),) = state.result_rows()
+        assert type(total) is float and total == 5.5
+        state.retract(floaty)
+        ((_, total),) = state.result_rows()
+        assert type(total) is int and total == 5
+
+    def test_nan_poisons_sum_until_retracted(self):
+        query = parse_query("SELECT a, sum(key), avg(key) FROM R GROUP BY a")
+        state = self.state(query)
+        nan_row = r_row(math.nan, 1)
+        state.insert(r_row(4, 1))
+        state.insert(nan_row)
+        ((_, total, mean),) = state.result_rows()
+        assert math.isnan(total) and math.isnan(mean)
+        state.retract(nan_row)
+        ((_, total, mean),) = state.result_rows()
+        assert total == 4 and mean == 4.0
+
+    def test_opposing_infinities_are_nan(self):
+        query = parse_query("SELECT a, sum(key) FROM R GROUP BY a")
+        state = self.state(query)
+        neg = r_row(-math.inf, 1)
+        state.insert(r_row(math.inf, 1))
+        state.insert(neg)
+        ((_, total),) = state.result_rows()
+        assert math.isnan(total)
+        state.retract(neg)
+        ((_, total),) = state.result_rows()
+        assert total == math.inf
+
+    def test_count_star_vs_count_column_nulls(self):
+        query = parse_query("SELECT a, count(*), count(key) FROM R GROUP BY a")
+        state = self.state(query)
+        state.insert(r_row(None, 1))
+        state.insert(r_row(7, 1))
+        assert state.result_rows() == [(1, 2, 1)]
+
+    def test_one_and_true_and_float_one_are_distinct_groups(self):
+        # hash(1) == hash(1.0) == hash(True) in Python; a plain dict key
+        # would merge three byte-distinct groups.
+        query = parse_query("SELECT key, count(*) FROM R GROUP BY key")
+        state = AggregateState(query.group_by, query.aggregates)
+        for group in (1, 1.0, True):
+            state.insert(r_row(group, 0))
+        assert state.group_count == 3
+        rendered = encoded(state.result_rows())
+        assert '["B",true]' in rendered  # the bool group survived as a bool
+
+    def test_all_nans_collapse_to_one_group(self):
+        query = parse_query("SELECT key, count(*) FROM R GROUP BY key")
+        state = AggregateState(query.group_by, query.aggregates)
+        state.insert(r_row(float("nan"), 0))
+        state.insert(r_row(math.nan, 1))
+        assert state.group_count == 1
+        ((group, count),) = state.result_rows()
+        assert math.isnan(group) and count == 2
+
+    def test_minmax_retracting_extreme_recomputes_boundedly(self):
+        query = parse_query("SELECT a, min(key), max(key) FROM R GROUP BY a")
+        state = self.state(query)
+        top = r_row(9, 1)
+        for row in [r_row(3, 1), r_row(7, 1), top, r_row(7, 1)]:
+            state.insert(row)
+        assert state.result_rows() == [(1, 3, 9)]
+        assert state.minmax_recomputes == 0
+        state.retract(top)
+        assert state.result_rows() == [(1, 3, 7)]
+        # Only the max side lost its cached extreme.
+        assert state.minmax_recomputes == 1
+
+    def test_minmax_duplicate_extreme_needs_no_recompute(self):
+        query = parse_query("SELECT a, max(key) FROM R GROUP BY a")
+        state = self.state(query)
+        first, second = r_row(9, 1), r_row(9.0, 1)
+        state.insert(first)
+        state.insert(r_row(2, 1))
+        state.insert(second)
+        state.retract(second)  # 9.0 and 9 are distinct keys; 9 remains max
+        assert state.result_rows() == [(1, 9)]
+
+    def test_result_rows_order_none_numeric_nan_str(self):
+        query = parse_query("SELECT key, count(*) FROM R GROUP BY key")
+        state = AggregateState(query.group_by, query.aggregates)
+        for group in ("z", 2, None, math.nan, 0.5):
+            state.insert(r_row(group, 0))
+        groups = [row[0] for row in state.result_rows()]
+        assert groups[0] is None
+        assert groups[1:3] == [0.5, 2]
+        assert math.isnan(groups[3])
+        assert groups[4] == "z"
+
+    def test_sum_rejects_non_numeric(self):
+        query = parse_query("SELECT a, sum(key) FROM R GROUP BY a")
+        state = self.state(query)
+        with pytest.raises(ExecutionError):
+            state.insert(r_row("text", 1))
+
+
+# -- unit: the module on a SteM ----------------------------------------------
+
+
+class TestAggregateModule:
+    def test_bootstrap_from_prior_stem_contents(self):
+        stem = SteM("R", aliases=("R",), join_columns=(), columnar=False)
+        for k in range(6):
+            stem.build(r_row(k, k % 2), float(k + 1))
+        module = make_module(stem)
+        assert module.stats["bootstrapped"] == 6
+        assert encoded(module.result_rows()) == encoded(
+            reference(stem).result_rows()
+            if hasattr(reference(stem), "result_rows")
+            else reference(stem)
+        )
+
+    def test_eviction_retracts(self):
+        stem = SteM(
+            "R", aliases=("R",), join_columns=(),
+            eviction=CountEviction(4), columnar=False,
+        )
+        module = make_module(stem)
+        for k in range(10):
+            stem.build(r_row(k, k % 2), float(k + 1))
+        assert module.stats["inserted"] == 10
+        assert module.stats["retracted"] == 6
+        assert encoded(module.result_rows()) == encoded(reference(stem))
+
+    def test_duplicate_build_not_double_counted(self):
+        stem = SteM("R", aliases=("R",), join_columns=(), columnar=False)
+        module = make_module(stem)
+        row = r_row(1, 1)
+        stem.build(row, 1.0)
+        stem.build(r_row(1, 1), 2.0)  # equal row: duplicate, absorbed
+        assert module.stats["inserted"] == 1
+        assert module.result_rows() == [(1, 1, 1, 1, 1.0, 1, 1)]
+
+    def test_predicates_filter_symmetrically(self):
+        query = parse_query(
+            "SELECT a, count(*) FROM R WHERE R.key < 5 GROUP BY a"
+        )
+        stem = SteM(
+            "R", aliases=("R",), join_columns=(),
+            eviction=CountEviction(3), columnar=False,
+        )
+        module = make_module(stem, query)
+        for k in range(10):
+            stem.build(r_row(k, 0), float(k + 1))
+        # Every surviving row (7, 8, 9) fails the predicate; the evictions
+        # of the passing rows must have retracted cleanly.
+        assert module.result_rows() == []
+        assert module.stats["filtered"] > 0
+
+    def test_raising_predicate_excludes_on_both_edges(self):
+        query = parse_query(
+            "SELECT a, count(*) FROM R WHERE R.key < 5 GROUP BY a"
+        )
+        stem = SteM(
+            "R", aliases=("R",), join_columns=(),
+            eviction=CountEviction(2), columnar=False,
+        )
+        module = make_module(stem, query)
+        # "text" < 5 raises TypeError inside the predicate: the row is
+        # excluded at build, and its eviction must not try to retract it.
+        stem.build(r_row("text", 1), 1.0)
+        stem.build(r_row(1, 1), 2.0)
+        stem.build(r_row(2, 1), 3.0)
+        stem.build(r_row(3, 1), 4.0)  # evicts the raising row
+        assert module.result_rows() == [(1, 2)]
+
+    def test_detach_is_idempotent_and_stops_listening(self):
+        stem = SteM("R", aliases=("R",), join_columns=(), columnar=False)
+        module = make_module(stem)
+        stem.build(r_row(1, 1), 1.0)
+        assert module.detach()
+        assert not module.detach()
+        stem.build(r_row(2, 2), 2.0)
+        assert module.stats["inserted"] == 1
+        assert not module.attached
+
+
+# -- unit: signatures and the shared registry ---------------------------------
+
+
+class TestAggregateRegistry:
+    def queries(self):
+        qa = parse_query("SELECT a, count(*) FROM R GROUP BY a")
+        qb = parse_query("SELECT a, count(*) FROM R x GROUP BY a")
+        qc = parse_query("SELECT a, count(*), sum(key) FROM R GROUP BY a")
+        return qa, qb, qc
+
+    def test_signature_normalizes_alias(self):
+        qa, qb, qc = self.queries()
+        assert aggregate_signature(qa) == aggregate_signature(qb)
+        assert aggregate_signature(qa) != aggregate_signature(qc)
+
+    def test_signature_normalizes_predicate_order_and_ops(self):
+        qa = parse_query(
+            "SELECT a, count(*) FROM R WHERE R.key < 9 AND R.a = 1 GROUP BY a"
+        )
+        qb = parse_query(
+            "SELECT a, count(*) FROM R z WHERE z.a = 1 AND z.key < 9 GROUP BY a"
+        )
+        assert aggregate_signature(qa) == aggregate_signature(qb)
+
+    def test_same_signature_shares_one_module(self):
+        qa, qb, qc = self.queries()
+        stem = SteM("R", aliases=("R", "x"), join_columns=(), columnar=False)
+        registry = AggregateRegistry()
+        module_a = registry.module_for(qa, stem, owner="q1")
+        module_b = registry.module_for(qb, stem, owner="q2")
+        module_c = registry.module_for(qc, stem, owner="q3")
+        assert module_a is module_b
+        assert module_a is not module_c
+        assert registry.stats == {"created": 2, "shared": 1, "reclaimed": 0}
+        assert registry.owners_of(qa) == {"q1", "q2"}
+
+    def test_release_detaches_at_zero_owners(self):
+        qa, qb, _ = self.queries()
+        stem = SteM("R", aliases=("R", "x"), join_columns=(), columnar=False)
+        registry = AggregateRegistry()
+        module = registry.module_for(qa, stem, owner="q1")
+        registry.module_for(qb, stem, owner="q2")
+        stem.build(r_row(1, 1), 1.0)
+        assert registry.release("q1") == 0
+        assert module.attached
+        assert registry.release("q2") == 1
+        assert not module.attached
+        assert registry.stats["reclaimed"] == 1
+        assert registry.reclaimed_stats[module.name]["inserted"] == 1
+        assert registry.modules == {}
+        # Releasing an unknown owner is a no-op, not an error.
+        assert registry.release("q1") == 0
+
+
+# -- differential property: incremental == recompute, byte for byte -----------
+
+#: Group values cover the hash-collision set, NaN, None, big ints, mixed
+#: types; measure values are numerics (sum/avg legality) on the hostile end.
+GROUP_POOL = (
+    None, 0, 1, 1.0, True, -0.0, math.nan, 2**63, -7, "g", "h", (1, "t"),
+)
+VALUE_POOL = (
+    None, 0, 1, -1, True, 0.5, -0.0, 5e-324, 1e308, math.nan,
+    math.inf, -math.inf, 2**63, -(2**63), 0.1,
+)
+
+POLICIES = {
+    "none": lambda: None,
+    "count": lambda: CountEviction(5),
+    "time-window": lambda: TimeWindowEviction(7.0),
+    "reference-window": lambda: ReferenceWindowEviction(4),
+}
+
+steps = st.lists(
+    st.tuples(
+        st.integers(0, len(GROUP_POOL) - 1),
+        st.integers(0, len(VALUE_POOL) - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=steps,
+    policy=st.sampled_from(sorted(POLICIES)),
+    attach_fraction=st.floats(0.0, 1.0),
+)
+def test_incremental_equals_recompute_under_churn(
+    steps, policy, attach_fraction
+):
+    """The differential oracle: at *every* post-attach step, the module's
+    output is byte-identical to recomputing over the surviving window —
+    across eviction policies, hostile values, and bootstrap points."""
+    stem = SteM(
+        "R", aliases=("R",), join_columns=(),
+        eviction=POLICIES[policy](), columnar=False,
+    )
+    attach_at = int(len(steps) * attach_fraction)
+    module = None
+    for position, (g, v) in enumerate(steps):
+        if position == attach_at:
+            module = make_module(stem)
+        stem.build(r_row(VALUE_POOL[v], GROUP_POOL[g]), float(position + 1))
+        if module is not None:
+            assert encoded(module.result_rows()) == encoded(reference(stem))
+    if module is None:
+        module = make_module(stem)
+    assert encoded(module.result_rows()) == encoded(reference(stem))
+    # Explicit evictions (reference-eviction style) retract too.
+    for row, _ in list(stem.state_entries())[::2]:
+        stem.evict(row)
+        assert encoded(module.result_rows()) == encoded(reference(stem))
+    module.detach()
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=steps)
+def test_full_drain_returns_to_empty(steps):
+    """Evicting everything retracts everything: no residue, no desync."""
+    stem = SteM("R", aliases=("R",), join_columns=(), columnar=False)
+    module = make_module(stem)
+    for position, (g, v) in enumerate(steps):
+        stem.build(r_row(VALUE_POOL[v], GROUP_POOL[g]), float(position + 1))
+    for row, _ in list(stem.state_entries()):
+        stem.evict(row)
+    assert module.result_rows() == []
+    assert module.stats["inserted"] == module.stats["retracted"]
+    module.detach()

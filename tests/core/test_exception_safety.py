@@ -105,8 +105,61 @@ class TestSelectionExceptionSafety:
         assert trapped is item
         assert module_name == module.name
         assert isinstance(error, ValueError)
-        # Selectivity accounting saw neither a pass nor a drop.
+        # Quarantines are their own stat — neither a pass nor a drop.
         assert module.stats["passed"] == 0 and module.stats["dropped"] == 0
+        assert module.stats["quarantined"] == 1
+
+    def test_quarantine_scores_as_drop(self):
+        # The quarantine-scoring bugfix: the early return used to skip the
+        # stats/EMA accounting entirely, so a predicate raising on every
+        # row kept observed_selectivity == recent_selectivity == 0.5 (the
+        # no-data prior) and routing policies treated poison as average.
+        runtime = QuarantineRuntime()
+        module = SelectionModule(Bomb())
+        module.attach(runtime)
+        for _ in range(10):
+            assert module.process(r_tuple()) == []
+        assert module.stats["quarantined"] == 10
+        assert len(runtime.trapped) == 10
+        # All outcomes were quarantines, so the predicate looks maximally
+        # unselective — not frozen at the prior.
+        assert module.observed_selectivity == 0.0
+        assert module.recent_selectivity == 0.0
+
+    def test_quarantine_mixes_into_selectivity_with_real_outcomes(self):
+        runtime = QuarantineRuntime()
+
+        class SometimesBomb(Predicate):
+            def aliases(self):
+                return frozenset({"R"})
+
+            def evaluate(self, components):
+                a = components["R"]["a"]
+                if a < 0:
+                    raise ValueError("poison")
+                return a < 50
+
+            def __str__(self):
+                return "sometimes-bomb(R)"
+
+        module = SelectionModule(SometimesBomb())
+        module.attach(runtime)
+        module.process(r_tuple(a=10))   # pass
+        module.process(r_tuple(a=90))   # drop
+        module.process(r_tuple(a=-1))   # quarantine
+        module.process(r_tuple(a=-2))   # quarantine
+        assert module.stats == {
+            **module.stats,
+            "passed": 1, "dropped": 1, "quarantined": 2,
+        }
+        assert module.observed_selectivity == 0.25
+        # The EMA seeded at the first outcome (1.0) then decayed through
+        # three 0.0 outcomes — the two quarantines counted, so the value
+        # sits below what pass+drop alone (two outcomes) would leave.
+        expected = 1.0
+        for _ in range(3):
+            expected += SelectionModule.RECENT_ALPHA * (0.0 - expected)
+        assert module.recent_selectivity == pytest.approx(expected)
 
     def test_without_quarantine_hook_raises(self):
         module = SelectionModule(Bomb())

@@ -20,6 +20,7 @@ from repro.core.partition import (
     configure_shard_pool,
     default_shards,
     partitioned_stem,
+    shard_count_bounds,
     shard_of,
     shard_pool,
 )
@@ -262,8 +263,8 @@ class TestPartitionedSteM:
         assert parted.remove_evict_listener(evicted.append)
 
     def test_count_eviction_bound_divides_across_shards(self):
-        # max_size is a bound on the logical SteM: each of 4 shards gets
-        # ceil(8/4) = 2 rows, so the whole never holds (much) more than 8.
+        # max_size is a bound on the *logical* SteM: the per-shard bounds
+        # sum to exactly max_size, so the whole never exceeds it.
         _, parted = make_pair(shards=4, eviction="count", max_size=8)
         for x in range(40):
             parted.build(s_row(x), float(x))
@@ -369,6 +370,74 @@ class TestFactoryAndPool:
                 configure_shard_pool(0)
         finally:
             configure_shard_pool(None)
+
+
+# -- satellite: exact count-eviction bounds across shards ---------------------
+
+class TestShardCountBounds:
+    """The eviction-bound bugfix: per-shard capacities sum *exactly* to
+    ``max_size`` (the old ceil-divide let a 4-shard SteM with max_size=10
+    hold 12 rows)."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("max_size", [7, 10, 16])
+    def test_bounds_sum_exactly_to_max_size(self, max_size, shards):
+        bounds = shard_count_bounds(max_size, shards)
+        assert sum(bounds) == max_size
+        assert len(bounds) == shards
+        # Remainder distribution: first max_size % shards shards get one
+        # extra row; bounds are as even as integers allow.
+        assert max(bounds) - min(bounds) <= 1
+        assert bounds == sorted(bounds, reverse=True)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_partitioned_stem_never_exceeds_bound(self, shards):
+        # The regression: max_size=10 over 4 shards used to hold 12 rows.
+        parted = PartitionedSteM(
+            "S", aliases=("S",), join_columns=("x",),
+            shards=shards, eviction="count", max_size=10,
+        )
+        for x in range(50):
+            parted.build(s_row(x), float(x))
+            assert len(parted) <= 10
+        assert sum(len(shard) for shard in parted.shard_modules) == len(parted)
+        assert [shard.max_size for shard in parted.shard_modules] == (
+            shard_count_bounds(10, shards)
+        )
+
+    def test_single_shard_keeps_full_bound(self):
+        stem = partitioned_stem(
+            "S", aliases=("S",), join_columns=("x",),
+            shards=1, eviction="count", max_size=10,
+        )
+        for x in range(50):
+            stem.build(s_row(x), float(x))
+        assert len(stem) == 10
+
+    def test_max_size_smaller_than_shards_rejected(self):
+        # CountEviction needs >= 1 row per shard; an empty-only shard
+        # cannot represent the bound exactly.
+        with pytest.raises(ExecutionError):
+            shard_count_bounds(3, 4)
+        with pytest.raises(ExecutionError):
+            PartitionedSteM(
+                "S", aliases=("S",), join_columns=("x",),
+                shards=4, eviction="count", max_size=3,
+            )
+
+    def test_set_eviction_redistributes_bound(self):
+        from repro.core.stem import CountEviction
+
+        _, parted = make_pair(shards=4)
+        for x in range(20):
+            parted.build(s_row(x), float(x))
+        parted.set_eviction(CountEviction(10))
+        for x in range(20, 40):
+            parted.build(s_row(x), float(x))
+        assert len(parted) == 10
+        assert [
+            shard.eviction.max_size for shard in parted.shard_modules
+        ] == [3, 3, 2, 2]
 
 
 # -- satellite: columnar auto-disable note ------------------------------------

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import ParseError, QueryError
 from repro.query.expressions import ColumnRef, Literal
 from repro.query.parser import parse_query
 from repro.query.predicates import Comparison, InList
@@ -60,6 +60,15 @@ class TestBasicParsing:
         assert isinstance(predicate, InList)
         assert predicate.values == frozenset({1, 2, 3})
 
+    def test_negative_literals(self):
+        query = parse_query(
+            "SELECT * FROM R WHERE R.a > -5 AND R.b = -2.5 AND R.c IN (-1, 2)"
+        )
+        comparisons = [p for p in query.predicates if isinstance(p, Comparison)]
+        assert {p.right.value for p in comparisons} == {-5, -2.5}
+        (in_list,) = [p for p in query.predicates if isinstance(p, InList)]
+        assert in_list.values == frozenset({-1, 2})
+
     def test_trailing_semicolon(self):
         query = parse_query("SELECT * FROM R;")
         assert query.alias_order == ("R",)
@@ -116,3 +125,73 @@ class TestRoundTripWithPaperQueries:
         query = parse_query("SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key")
         assert query.join_partners("S") == {"R", "T"}
         assert query.join_columns_of("S") == ("x", "y")
+
+
+class TestGroupByParsing:
+    def test_aggregate_select_list(self):
+        query = parse_query(
+            "SELECT a, count(*), sum(key), avg(key), min(key), max(key) "
+            "FROM R WHERE R.key < 100 GROUP BY a"
+        )
+        assert query.is_aggregate
+        assert query.group_by == (ColumnRef("R", "a"),)
+        assert [spec.func for spec in query.aggregates] == [
+            "count", "sum", "avg", "min", "max",
+        ]
+        assert query.aggregates[0].column is None  # count(*)
+        assert query.aggregates[1].column == ColumnRef("R", "key")
+        assert query.aggregate_labels == (
+            "R.a", "count(*)", "sum(R.key)", "avg(R.key)",
+            "min(R.key)", "max(R.key)",
+        )
+        assert len(query.predicates) == 1
+
+    def test_group_column_order_is_clause_order_not_select_order(self):
+        query = parse_query(
+            "SELECT count(*), b, a FROM R GROUP BY a, b"
+        )
+        assert [column.column for column in query.group_by] == ["a", "b"]
+
+    def test_global_aggregate_without_group_by(self):
+        query = parse_query("SELECT count(*), sum(key) FROM R")
+        assert query.is_aggregate
+        assert query.group_by == ()
+        assert query.aggregate_labels == ("count(*)", "sum(R.key)")
+
+    def test_keywords_case_insensitive_and_qualified_columns(self):
+        query = parse_query("select R.a, COUNT(*) from R group BY R.a")
+        assert query.is_aggregate
+        assert query.group_by == (ColumnRef("R", "a"),)
+
+    def test_count_is_not_reserved(self):
+        # ``count`` is an aggregate only when followed by ``(`` — as a bare
+        # identifier it stays an ordinary column name.
+        query = parse_query("SELECT count FROM R")
+        assert not query.is_aggregate
+        assert [str(c) for c in query.projections] == ["R.count"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT count(*) FROM R GROUP BY",            # dangling GROUP BY
+            "SELECT count(*) FROM R GROUP a",             # GROUP without BY
+            "SELECT b, count(*) FROM R GROUP BY a",       # b not grouped
+            "SELECT median(key) FROM R GROUP BY a",       # unknown function
+            "SELECT sum(*) FROM R GROUP BY a",            # sum(*) undefined
+        ],
+    )
+    def test_malformed_aggregate_grammar_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT a FROM R GROUP BY a",                 # no aggregate
+            "SELECT count(*) FROM R, T GROUP BY R.a",     # multi-table
+            "SELECT count(*) FROM R GROUP BY a, a",       # duplicate group col
+        ],
+    )
+    def test_invalid_aggregate_semantics_raise(self, text):
+        with pytest.raises(QueryError):
+            parse_query(text)

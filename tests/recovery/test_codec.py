@@ -193,6 +193,9 @@ class TestQueryToSql:
             "SELECT R.a FROM R, S WHERE R.a = S.x AND S.y IN (1, 2, 3)",
             "SELECT * FROM R WHERE R.name = 'alice'",
             "SELECT * FROM R, S, T WHERE R.a = S.x AND S.y = T.key AND T.val != 0",
+            "SELECT a, count(*), sum(key) FROM R WHERE R.key < 100 GROUP BY a",
+            "SELECT count(*), avg(key), min(key), max(key) FROM R",
+            "SELECT a, b, count(key) FROM R GROUP BY a, b",
         ],
     )
     def test_parse_unparse_fixpoint(self, sql):
@@ -207,6 +210,8 @@ class TestQueryToSql:
         assert [str(c) for c in reparsed.projections] == [
             str(c) for c in query.projections
         ]
+        assert reparsed.group_by == query.group_by
+        assert reparsed.aggregates == query.aggregates
 
     def test_rejects_unexpressible_literals(self):
         from repro.query.expressions import ColumnRef, Literal

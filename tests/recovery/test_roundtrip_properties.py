@@ -194,3 +194,74 @@ class TestStemStateRoundTrip:
         # The replay saw no duplicates: state_entries is already deduplicated.
         assert rebuilt.stats["duplicates"] == 0
         assert rebuilt.stats["builds"] == len(restored)
+
+
+class TestQueryUnparseProperties:
+    """WAL admission records persist queries as SQL — the unparse must be a
+    parse fixpoint for every aggregate shape the grammar admits."""
+
+    _group_columns = st.lists(
+        st.sampled_from(["a", "b", "c"]), unique=True, max_size=3
+    )
+    _specs = st.lists(
+        st.tuples(
+            st.sampled_from(["count", "sum", "avg", "min", "max"]),
+            st.sampled_from(["key", "a", "val"]),
+        ),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    )
+    _comparisons = st.lists(
+        st.tuples(
+            st.sampled_from(["key", "a"]),
+            st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        max_size=2,
+        unique=True,
+    )
+
+    @given(
+        group_columns=_group_columns,
+        specs=_specs,
+        comparisons=_comparisons,
+        star_count=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_aggregate_query_round_trips(
+        self, group_columns, specs, comparisons, star_count
+    ):
+        from repro.query.expressions import ColumnRef, Literal
+        from repro.query.parser import parse_query
+        from repro.query.predicates import Comparison
+        from repro.query.query import AggregateSpec, Query, TableRef
+        from repro.recovery.codec import query_to_sql
+
+        aggregates = tuple(
+            AggregateSpec(func, ColumnRef("R", column))
+            for func, column in specs
+        )
+        if star_count:
+            aggregates = (AggregateSpec("count", None),) + aggregates
+        query = Query(
+            tables=(TableRef.of("R"),),
+            predicates=tuple(
+                Comparison(ColumnRef("R", column), op, Literal(value))
+                for column, op, value in comparisons
+            ),
+            group_by=tuple(
+                ColumnRef("R", column) for column in group_columns
+            ),
+            aggregates=aggregates,
+        )
+
+        rendered = query_to_sql(query)
+        reparsed = parse_query(rendered)
+        assert reparsed.group_by == query.group_by
+        assert reparsed.aggregates == query.aggregates
+        assert {str(p) for p in reparsed.predicates} == {
+            str(p) for p in query.predicates
+        }
+        # And the unparse is a fixpoint: render(parse(render(q))) == render(q).
+        assert query_to_sql(reparsed) == rendered
